@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: nested translations sharing the L2 TLB.
+ *
+ * Table VI notes the evaluation hardware keeps nested (gPA→hPA)
+ * entries in the same physical TLB as regular entries; §IX.A blames
+ * this for the 1.3-1.6x TLB-miss inflation under virtualization.
+ * This ablation toggles the sharing off (a dedicated, infinite-miss
+ * NTLB-less design) to isolate how much of the virtualization
+ * overhead is capacity contention vs walk length.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace emv;
+using workload::WorkloadKind;
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+
+    sim::RunParams params;
+    params.scale = 0.1;
+    params.warmupOps = 150000;
+    params.measureOps = 600000;
+    params.parseArgs(argc, argv);
+
+    sim::Table table({"workload", "native misses",
+                      "virt misses (shared)", "inflation",
+                      "virt misses (no NTLB)",
+                      "virt overhead (shared)",
+                      "virt overhead (no NTLB)"});
+
+    for (auto kind :
+         {WorkloadKind::Graph500, WorkloadKind::Memcached,
+          WorkloadKind::NpbCg, WorkloadKind::Canneal}) {
+        auto native = sim::runCell(kind, *sim::specFromLabel("4K"),
+                                   params);
+
+        auto spec = *sim::specFromLabel("4K+4K");
+        auto shared_cell = sim::runCell(kind, spec, params);
+
+        auto wl = workload::makeWorkload(kind, params.seed,
+                                         params.scale);
+        auto cfg = sim::makeMachineConfig(spec, params);
+        cfg.mmu.nestedTlbShared = false;
+        sim::Machine machine(cfg, *wl);
+        machine.run(params.warmupOps);
+        machine.resetStats();
+        auto isolated = machine.run(params.measureOps);
+
+        const double inflation =
+            static_cast<double>(shared_cell.run.l2Misses) /
+            std::max<double>(
+                1.0, static_cast<double>(native.run.l2Misses));
+        table.addRow({workload::workloadName(kind),
+                      std::to_string(native.run.l2Misses),
+                      std::to_string(shared_cell.run.l2Misses),
+                      sim::fmt(inflation, 2) + "x",
+                      std::to_string(isolated.l2Misses),
+                      sim::pct(shared_cell.run.totalOverhead()),
+                      sim::pct(isolated.totalOverhead())});
+        std::fprintf(stderr, "%s done\n",
+                     workload::workloadName(kind));
+    }
+
+    std::printf("Ablation: shared vs dedicated nested-TLB capacity "
+                "(the §IX.A inflation mechanism)\n\n");
+    table.print(std::cout);
+    std::printf("\nWithout sharing, guest L2 misses drop back "
+                "toward native counts, but every\nnested lookup "
+                "walks the nested table, so per-miss cost rises — "
+                "the design\ntension real NTLBs resolve with "
+                "dedicated capacity.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/** @file Shared helpers for the figure/table bench binaries. */
+
+#ifndef EMV_BENCH_BENCH_UTIL_HH
+#define EMV_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "workload/workload.hh"
+
+namespace emv::bench {
+
+/**
+ * Run a (workloads x configs) overhead matrix and print it the way
+ * the paper's grouped bar charts read: one row per configuration,
+ * one column per workload, cells are execution-time overhead.
+ */
+inline void
+runOverheadMatrix(const std::string &title,
+                  const std::vector<workload::WorkloadKind> &kinds,
+                  const std::vector<sim::ConfigSpec> &configs,
+                  const sim::RunParams &params)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("(scale=%.3g warmup=%llu ops=%llu seed=%llu)\n\n",
+                params.scale,
+                static_cast<unsigned long long>(params.warmupOps),
+                static_cast<unsigned long long>(params.measureOps),
+                static_cast<unsigned long long>(params.seed));
+
+    std::vector<std::string> headers{"config"};
+    for (auto kind : kinds)
+        headers.emplace_back(workload::workloadName(kind));
+    sim::Table table(headers);
+
+    for (const auto &spec : configs) {
+        std::vector<std::string> row{spec.label};
+        for (auto kind : kinds) {
+            auto cell = sim::runCell(kind, spec, params);
+            row.push_back(sim::pct(cell.overhead()));
+            std::fprintf(stderr, ".");
+        }
+        table.addRow(std::move(row));
+        std::fprintf(stderr, " %s\n", spec.label.c_str());
+    }
+    table.print(std::cout);
+}
+
+} // namespace emv::bench
+
+#endif // EMV_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 1: preview of virtual-memory overheads.
+ *
+ * Paper series (selected workloads): native 4K vs virtualized
+ * 4K+4K / 4K+2M / 4K+1G, and the proposed DD and 4K+VD.  Expected
+ * shape: virtualization multiplies the native overhead (~3.6x
+ * geomean), larger VMM pages help but do not close the gap, DD is
+ * near zero and VD is near native.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace emv;
+    setQuietLogging(true);
+
+    sim::RunParams params;
+    params.scale = 0.25;
+    params.warmupOps = 300000;
+    params.measureOps = 1500000;
+    params.parseArgs(argc, argv);
+
+    bench::runOverheadMatrix(
+        "Figure 1: execution-time overhead of virtual memory "
+        "(preview)",
+        {workload::WorkloadKind::Graph500,
+         workload::WorkloadKind::Memcached,
+         workload::WorkloadKind::Gups},
+        sim::figure1Configs(), params);
+    return 0;
+}

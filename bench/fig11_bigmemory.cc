@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 11: virtual-memory overhead per big-memory workload.
+ *
+ * All thirteen configurations of the paper: native 4K/2M/1G,
+ * virtualized 4K+4K / 4K+2M / 4K+1G / 2M+2M / 2M+1G / 1G+1G, the
+ * unvirtualized direct segment (DS), and the proposed DD / 4K+VD /
+ * 4K+GD.  Expected shape (paper): virtualization multiplies native
+ * overheads (~3.6x geomean at 4K+4K); 2M pages shrink but do not
+ * close the gap; 1G pages are capacity-limited (4 L1 entries); DS
+ * and DD are near zero; VD and GD track native 4K.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace emv;
+    setQuietLogging(true);
+
+    sim::RunParams params;
+    params.scale = 0.5;
+    params.warmupOps = 300000;
+    params.measureOps = 1200000;
+    params.parseArgs(argc, argv);
+
+    bench::runOverheadMatrix(
+        "Figure 11: execution-time overhead, big-memory workloads",
+        workload::bigMemoryWorkloads(), sim::figure11Configs(),
+        params);
+    return 0;
+}

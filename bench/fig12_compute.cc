@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 12: virtual-memory overhead per compute workload.
+ *
+ * SPEC 2006 (cactusADM, GemsFDTD, mcf, omnetpp) and PARSEC
+ * (canneal, streamcluster) under native 4K/THP, virtualized
+ * combinations, and VMM Direct (the mode the paper recommends for
+ * compute workloads: no guest/application changes).  Expected
+ * shape: cactusADM and mcf keep high overheads even with THP;
+ * virtualization amplifies everything; 4K+VD tracks native 4K and
+ * THP+VD tracks native THP.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace emv;
+    setQuietLogging(true);
+
+    sim::RunParams params;
+    params.scale = 0.5;
+    params.warmupOps = 300000;
+    params.measureOps = 1200000;
+    params.parseArgs(argc, argv);
+
+    bench::runOverheadMatrix(
+        "Figure 12: execution-time overhead, compute workloads",
+        workload::computeWorkloads(), sim::figure12Configs(),
+        params);
+    return 0;
+}

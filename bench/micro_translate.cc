@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot paths:
+ * per-mode translation throughput of the Mmu, raw walker costs,
+ * TLB lookups, and escape-filter probes.  These measure the
+ * *library's* speed (simulation throughput), complementing the
+ * figure benches that measure the *modeled* cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "segment/escape_filter.hh"
+#include "sim/machine.hh"
+#include "tlb/tlb.hh"
+#include "workload/workload.hh"
+
+using namespace emv;
+
+namespace {
+
+struct Rig
+{
+    std::unique_ptr<workload::Workload> wl;
+    std::unique_ptr<sim::Machine> machine;
+};
+
+Rig
+makeRig(core::Mode mode)
+{
+    setQuietLogging(true);
+    Rig rig;
+    rig.wl = workload::makeWorkload(workload::WorkloadKind::Gups, 3,
+                                    0.02);
+    sim::MachineConfig cfg;
+    cfg.mode = mode;
+    rig.machine = std::make_unique<sim::Machine>(cfg, *rig.wl);
+    rig.machine->run(20000);  // Warm.
+    return rig;
+}
+
+void
+translateLoop(benchmark::State &state, core::Mode mode)
+{
+    auto rig = makeRig(mode);
+    for (auto _ : state) {
+        auto op = rig.wl->next();
+        if (op.kind == workload::Op::Kind::Remap)
+            continue;
+        auto result = rig.machine->mmu().translate(op.va);
+        benchmark::DoNotOptimize(result.hpa);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TranslateNative(benchmark::State &state)
+{
+    translateLoop(state, core::Mode::Native);
+}
+
+void
+BM_TranslateBaseVirtualized(benchmark::State &state)
+{
+    translateLoop(state, core::Mode::BaseVirtualized);
+}
+
+void
+BM_TranslateVmmDirect(benchmark::State &state)
+{
+    translateLoop(state, core::Mode::VmmDirect);
+}
+
+void
+BM_TranslateDualDirect(benchmark::State &state)
+{
+    translateLoop(state, core::Mode::DualDirect);
+}
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    tlb::Tlb tlb("bench", 128, 4);
+    tlb.insert(tlb::EntryKind::Guest, 0x1000, 0xa000,
+               PageSize::Size4K);
+    for (auto _ : state) {
+        auto hit = tlb.lookup(tlb::EntryKind::Guest, 0x1abc,
+                              PageSize::Size4K);
+        benchmark::DoNotOptimize(hit);
+    }
+}
+
+void
+BM_EscapeFilterProbe(benchmark::State &state)
+{
+    segment::EscapeFilter filter;
+    for (int i = 0; i < 16; ++i)
+        filter.insertPage(static_cast<Addr>(i * 997) << 12);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += kPage4K;
+        benchmark::DoNotOptimize(filter.mayContain(addr));
+    }
+}
+
+BENCHMARK(BM_TranslateNative);
+BENCHMARK(BM_TranslateBaseVirtualized);
+BENCHMARK(BM_TranslateVmmDirect);
+BENCHMARK(BM_TranslateDualDirect);
+BENCHMARK(BM_TlbLookupHit);
+BENCHMARK(BM_EscapeFilterProbe);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Example: holes in a direct segment via the escape filter (§V).
+ *
+ * Shows, at the API level, exactly what the hardware does: poison
+ * host frames inside the VMM segment's backing, let the VMM remap
+ * them and register the escaped gPAs in the 256-bit Bloom filter,
+ * then translate addresses and watch which path each takes.
+ *
+ * Run: ./escape_filter_demo
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/mmu.hh"
+#include "sim/machine.hh"
+#include "sim/report.hh"
+#include "workload/workload.hh"
+
+using namespace emv;
+
+int
+main()
+{
+    setQuietLogging(true);
+
+    auto wl = workload::makeWorkload(workload::WorkloadKind::Gups, 9,
+                                     0.05);
+    sim::MachineConfig cfg;
+    cfg.mode = core::Mode::DualDirect;
+    cfg.badFrames = 8;
+    cfg.badFrameSeed = 1234;
+    sim::Machine machine(cfg, *wl);
+
+    auto &filter = machine.mmu().vmmFilter();
+    std::printf("escape filter: %u bits, %u H3 hashes, %u pages "
+                "inserted, %u bits set\n",
+                filter.sizeBits(), filter.numHashes(),
+                filter.insertedPages(), filter.popcount());
+    std::printf("analytic false-positive rate: %s\n\n",
+                sim::pct(filter.expectedFalsePositiveRate()).c_str());
+
+    std::printf("host bad frames: %zu (injected into the segment "
+                "backing)\n",
+                machine.hostMem().badFrameCount());
+    std::printf("VMM segment:     %s\n\n",
+                machine.vmmSegment().toString().c_str());
+
+    // Drive the workload and classify every translation path.
+    std::uint64_t zero_d = 0, walks = 0, l1 = 0, other = 0;
+    for (int i = 0; i < 200000; ++i) {
+        auto op = wl->next();
+        if (op.kind == workload::Op::Kind::Remap)
+            continue;
+        auto result = machine.mmu().translate(op.va);
+        while (!result.ok) {
+            // Demand-map stragglers through the machine's OS.
+            machine.os().handleFault(machine.process(),
+                                     result.faultAddr);
+            result = machine.mmu().translate(op.va);
+        }
+        switch (result.path) {
+          case core::TranslatePath::DualSegment: ++zero_d; break;
+          case core::TranslatePath::Walk: ++walks; break;
+          case core::TranslatePath::L1Hit: ++l1; break;
+          default: ++other; break;
+        }
+    }
+
+    const auto &stats = machine.mmu().stats();
+    std::printf("translation paths over 200k accesses:\n");
+    std::printf("  L1 TLB hits:               %llu\n",
+                static_cast<unsigned long long>(l1));
+    std::printf("  0D dual-segment hits:      %llu\n",
+                static_cast<unsigned long long>(zero_d));
+    std::printf("  page walks (escapes + FPs + non-segment): %llu\n",
+                static_cast<unsigned long long>(walks));
+    std::printf("  other (L2 hits):           %llu\n",
+                static_cast<unsigned long long>(other));
+    std::printf("  escape-filter slow paths:  %llu\n",
+                static_cast<unsigned long long>(
+                    stats.counterValue("escape_slow_paths")));
+    std::printf("\nEvery escaped page still translated correctly — "
+                "the VMM remapped it to a\nhealthy frame and the "
+                "nested page table served it.  A single bad page "
+                "no\nlonger forbids a multi-GB segment.\n");
+    return 0;
+}

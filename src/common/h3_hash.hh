@@ -1,0 +1,63 @@
+/**
+ * @file
+ * H3 universal hash family.
+ *
+ * The escape filter (paper §V, §IX.C) is a 256-bit hardware parallel
+ * Bloom filter with four H3 hash functions, following the signature
+ * implementation study of Sanchez et al. [44].  An H3 hash of an
+ * n-bit key is the XOR of per-bit random column vectors: for key
+ * bits b_i, h(key) = XOR over set bits of matrix row q_i.  This is
+ * trivially parallel in hardware (one XOR tree) which is why the
+ * paper picks it.
+ */
+
+#ifndef EMV_COMMON_H3_HASH_HH
+#define EMV_COMMON_H3_HASH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace emv {
+
+/**
+ * One H3 hash function over 64-bit keys producing values in
+ * [0, 2^outputBits).
+ */
+class H3Hash
+{
+  public:
+    /**
+     * @param output_bits Width of the hash output in bits (<= 32).
+     * @param seed        Seed for the random matrix.
+     */
+    H3Hash(unsigned output_bits, std::uint64_t seed);
+
+    /** Hash a 64-bit key. */
+    std::uint32_t operator()(std::uint64_t key) const;
+
+    unsigned outputBits() const { return bits; }
+
+  private:
+    unsigned bits;
+    /** One random column per input bit. */
+    std::uint32_t matrix[64];
+};
+
+/** A family of independent H3 functions sharing an output width. */
+class H3Family
+{
+  public:
+    H3Family(unsigned num_hashes, unsigned output_bits,
+             std::uint64_t seed);
+
+    std::uint32_t hash(unsigned index, std::uint64_t key) const;
+    unsigned size() const
+    { return static_cast<unsigned>(hashes.size()); }
+
+  private:
+    std::vector<H3Hash> hashes;
+};
+
+} // namespace emv
+
+#endif // EMV_COMMON_H3_HASH_HH

@@ -1,0 +1,198 @@
+#include "common/intervals.hh"
+
+#include "common/logging.hh"
+
+namespace emv {
+
+void
+IntervalSet::insert(Addr start, Addr end)
+{
+    if (end <= start)
+        return;
+
+    // Find the first interval that could merge: the one whose start
+    // is <= end and whose end >= start.
+    auto it = byStart.upper_bound(start);
+    if (it != byStart.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= start) {
+            start = prev->first;
+            end = std::max(end, prev->second);
+            it = byStart.erase(prev);
+        }
+    }
+    while (it != byStart.end() && it->first <= end) {
+        end = std::max(end, it->second);
+        it = byStart.erase(it);
+    }
+    byStart.emplace(start, end);
+}
+
+void
+IntervalSet::erase(Addr start, Addr end)
+{
+    if (end <= start)
+        return;
+
+    auto it = byStart.upper_bound(start);
+    if (it != byStart.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > start)
+            it = prev;
+    }
+    while (it != byStart.end() && it->first < end) {
+        const Addr is = it->first;
+        const Addr ie = it->second;
+        it = byStart.erase(it);
+        if (is < start)
+            byStart.emplace(is, start);
+        if (ie > end) {
+            byStart.emplace(end, ie);
+            break;
+        }
+    }
+}
+
+bool
+IntervalSet::contains(Addr addr) const
+{
+    auto it = byStart.upper_bound(addr);
+    if (it == byStart.begin())
+        return false;
+    --it;
+    return addr < it->second;
+}
+
+bool
+IntervalSet::containsRange(Addr start, Addr end) const
+{
+    if (end <= start)
+        return true;
+    auto it = byStart.upper_bound(start);
+    if (it == byStart.begin())
+        return false;
+    --it;
+    return start >= it->first && end <= it->second;
+}
+
+bool
+IntervalSet::intersectsRange(Addr start, Addr end) const
+{
+    if (end <= start)
+        return false;
+    auto it = byStart.lower_bound(start);
+    if (it != byStart.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > start)
+            return true;
+    }
+    return it != byStart.end() && it->first < end;
+}
+
+Addr
+IntervalSet::coveredBytesInRange(Addr start, Addr end) const
+{
+    if (end <= start)
+        return 0;
+    Addr covered = 0;
+    auto it = byStart.upper_bound(start);
+    if (it != byStart.begin())
+        --it;
+    for (; it != byStart.end() && it->first < end; ++it) {
+        const Addr lo = std::max(it->first, start);
+        const Addr hi = std::min(it->second, end);
+        if (hi > lo)
+            covered += hi - lo;
+    }
+    return covered;
+}
+
+Addr
+IntervalSet::totalLength() const
+{
+    Addr total = 0;
+    for (const auto &[start, end] : byStart)
+        total += end - start;
+    return total;
+}
+
+std::optional<Interval>
+IntervalSet::largest() const
+{
+    std::optional<Interval> best;
+    for (const auto &[start, end] : byStart) {
+        if (!best || end - start > best->length())
+            best = Interval{start, end};
+    }
+    return best;
+}
+
+std::optional<Interval>
+IntervalSet::findFit(Addr length, Addr align) const
+{
+    emv_assert(align != 0 && (align & (align - 1)) == 0,
+               "findFit alignment must be a power of two");
+    std::optional<Interval> best;
+    for (const auto &[start, end] : byStart) {
+        const Addr aligned = alignUp(start, align);
+        if (aligned >= end || end - aligned < length)
+            continue;
+        if (!best || end - start < best->length())
+            best = Interval{start, end};
+    }
+    if (!best)
+        return std::nullopt;
+    const Addr aligned = alignUp(best->start, align);
+    return Interval{aligned, aligned + length};
+}
+
+std::optional<Interval>
+IntervalSet::findFitHigh(Addr length, Addr align) const
+{
+    emv_assert(align != 0 && (align & (align - 1)) == 0,
+               "findFitHigh alignment must be a power of two");
+    for (auto it = byStart.rbegin(); it != byStart.rend(); ++it) {
+        const Addr start = it->first;
+        const Addr end = it->second;
+        if (end - start < length)
+            continue;
+        const Addr placed = alignDown(end - length, align);
+        if (placed >= start && end - placed >= length)
+            return Interval{placed, placed + length};
+    }
+    return std::nullopt;
+}
+
+std::optional<Interval>
+IntervalSet::findFitLowAbove(Addr length, Addr align,
+                             Addr min_start) const
+{
+    emv_assert(align != 0 && (align & (align - 1)) == 0,
+               "findFitLowAbove alignment must be a power of two");
+    std::optional<Interval> fallback;
+    for (const auto &[start, end] : byStart) {
+        // Preferred placement: at or above min_start.
+        const Addr placed = alignUp(std::max(start, min_start), align);
+        if (placed < end && end - placed >= length)
+            return Interval{placed, placed + length};
+        // Remember the lowest fit anywhere as a fallback.
+        if (!fallback) {
+            const Addr any = alignUp(start, align);
+            if (any < end && end - any >= length)
+                fallback = Interval{any, any + length};
+        }
+    }
+    return fallback;
+}
+
+std::vector<Interval>
+IntervalSet::intervals() const
+{
+    std::vector<Interval> out;
+    out.reserve(byStart.size());
+    for (const auto &[start, end] : byStart)
+        out.push_back(Interval{start, end});
+    return out;
+}
+
+} // namespace emv

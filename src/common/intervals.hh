@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Half-open interval set over 64-bit addresses.
+ *
+ * Used everywhere a module reasons about ranges of frames or pages:
+ * free guest-physical ranges (self-ballooning looks for the largest
+ * contiguous run), memory slots, hot-plugged regions, and segment
+ * candidates.
+ */
+
+#ifndef EMV_COMMON_INTERVALS_HH
+#define EMV_COMMON_INTERVALS_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emv {
+
+/** A half-open range [start, end). */
+struct Interval
+{
+    Addr start = 0;
+    Addr end = 0;
+
+    Addr length() const { return end - start; }
+    bool empty() const { return end <= start; }
+    bool contains(Addr addr) const { return addr >= start && addr < end; }
+
+    bool operator==(const Interval &) const = default;
+};
+
+/**
+ * Set of disjoint half-open intervals with coalescing insert and
+ * splitting erase.
+ */
+class IntervalSet
+{
+  public:
+    /** Insert [start, end), merging with any overlapping/adjacent. */
+    void insert(Addr start, Addr end);
+
+    /** Remove [start, end), splitting intervals as needed. */
+    void erase(Addr start, Addr end);
+
+    /** True if @p addr lies in some interval. */
+    bool contains(Addr addr) const;
+
+    /** True if the whole range [start, end) is covered. */
+    bool containsRange(Addr start, Addr end) const;
+
+    /** True if any byte of [start, end) is covered. */
+    bool intersectsRange(Addr start, Addr end) const;
+
+    /** Bytes of [start, end) covered by the set. */
+    Addr coveredBytesInRange(Addr start, Addr end) const;
+
+    /** Total bytes covered. */
+    Addr totalLength() const;
+
+    /** Largest single interval, if any. */
+    std::optional<Interval> largest() const;
+
+    /**
+     * Smallest interval of at least @p length bytes whose start is
+     * aligned to @p align; best-fit to limit fragmentation.
+     */
+    std::optional<Interval> findFit(Addr length, Addr align = 1) const;
+
+    /**
+     * Highest-addressed aligned fit of at least @p length bytes
+     * (placed at the top of the highest interval that fits).
+     */
+    std::optional<Interval> findFitHigh(Addr length,
+                                        Addr align = 1) const;
+
+    /**
+     * Lowest-addressed aligned fit whose start is >= @p min_start;
+     * falls back to the lowest fit anywhere if none qualifies.
+     */
+    std::optional<Interval> findFitLowAbove(Addr length, Addr align,
+                                            Addr min_start) const;
+
+    /** All intervals in ascending order. */
+    std::vector<Interval> intervals() const;
+
+    bool empty() const { return byStart.empty(); }
+    std::size_t count() const { return byStart.size(); }
+    void clear() { byStart.clear(); }
+
+  private:
+    /** start -> end. */
+    std::map<Addr, Addr> byStart;
+};
+
+} // namespace emv
+
+#endif // EMV_COMMON_INTERVALS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic() is for emv bugs (never the user's fault; aborts).
+ * fatal() is for unusable user configuration (clean exit(1)).
+ * warn() / inform() report conditions without stopping.
+ */
+
+#ifndef EMV_COMMON_LOGGING_HH
+#define EMV_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace emv {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (an emv bug). */
+#define emv_panic(...)                                                 \
+    ::emv::detail::panicImpl(__FILE__, __LINE__,                       \
+                             ::emv::detail::format(__VA_ARGS__))
+
+/** Exit cleanly on an unusable user configuration. */
+#define emv_fatal(...)                                                 \
+    ::emv::detail::fatalImpl(__FILE__, __LINE__,                       \
+                             ::emv::detail::format(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define emv_warn(...)                                                  \
+    ::emv::detail::warnImpl(::emv::detail::format(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define emv_inform(...)                                                \
+    ::emv::detail::informImpl(::emv::detail::format(__VA_ARGS__))
+
+/** panic() when @p cond is false; message describes the invariant. */
+#define emv_assert(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::emv::detail::panicImpl(__FILE__, __LINE__,               \
+                ::emv::detail::format(__VA_ARGS__));                   \
+        }                                                              \
+    } while (0)
+
+/** Globally silence warn()/inform() (used by benches). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace emv
+
+#endif // EMV_COMMON_LOGGING_HH

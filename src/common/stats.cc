@@ -1,0 +1,140 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace emv {
+
+void
+Distribution::sample(double value)
+{
+    if (_count == 0) {
+        _min = value;
+        _max = value;
+    } else {
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+    ++_count;
+    _sum += value;
+    const double delta = value - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (value - _mean);
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+double
+Distribution::mean() const
+{
+    return _count ? _mean : 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    return _count > 1 ? _m2 / static_cast<double>(_count - 1) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return distributions[name];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::scalarValue(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    return it == scalars.end() ? 0.0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters)
+        c.reset();
+    for (auto &[name, s] : scalars)
+        s.reset();
+    for (auto &[name, d] : distributions)
+        d.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters)
+        os << _name << '.' << name << ' ' << c.value() << '\n';
+    for (const auto &[name, s] : scalars)
+        os << _name << '.' << name << ' ' << s.value() << '\n';
+    for (const auto &[name, d] : distributions) {
+        os << _name << '.' << name << ".mean " << d.mean() << '\n';
+        os << _name << '.' << name << ".count " << d.count() << '\n';
+    }
+}
+
+ConfidenceInterval
+confidence95(const std::vector<double> &samples)
+{
+    ConfidenceInterval ci;
+    const auto n = samples.size();
+    if (n == 0)
+        return ci;
+
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    ci.mean = sum / static_cast<double>(n);
+    if (n < 2)
+        return ci;
+
+    double sq = 0.0;
+    for (double s : samples) {
+        const double d = s - ci.mean;
+        sq += d * d;
+    }
+    const double var = sq / static_cast<double>(n - 1);
+    const double sem = std::sqrt(var / static_cast<double>(n));
+
+    // Two-sided 95% Student-t critical values; index by df, clamped.
+    static const double tTable[] = {
+        0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    const std::size_t df = n - 1;
+    const double t = df < std::size(tTable) ? tTable[df] : 1.96;
+    ci.halfWidth = t * sem;
+    return ci;
+}
+
+} // namespace emv

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * The paper's methodology is counter-driven (perf + BadgerTrap): TLB
+ * misses, page-walk cycles, walk memory references.  Every simulated
+ * structure owns named Counter/Scalar stats registered in a
+ * StatGroup so experiments can dump and diff them uniformly.
+ */
+
+#ifndef EMV_COMMON_STATS_HH
+#define EMV_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace emv {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t delta)
+    { _value += delta; return *this; }
+
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Accumulating floating-point scalar (e.g. cycles). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double delta) { _value += delta; return *this; }
+    void set(double value) { _value = value; }
+
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * Running distribution: count, sum, min, max, mean and sample
+ * variance via Welford's algorithm.
+ */
+class Distribution
+{
+  public:
+    void sample(double value);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+};
+
+/**
+ * A named collection of stats.  Structures register their counters
+ * by name; dump() emits "group.name value" lines.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    Counter &counter(const std::string &name);
+    Scalar &scalar(const std::string &name);
+    Distribution &distribution(const std::string &name);
+
+    /** Value of a counter (0 if never touched). */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** Value of a scalar (0 if never touched). */
+    double scalarValue(const std::string &name) const;
+
+    void resetAll();
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Scalar> scalars;
+    std::map<std::string, Distribution> distributions;
+};
+
+/**
+ * Compute mean and half-width of the 95% confidence interval for a
+ * set of samples (Student-t for small n, as in the paper's Fig. 13
+ * error bars with 30 trials).
+ */
+struct ConfidenceInterval
+{
+    double mean = 0.0;
+    double halfWidth = 0.0;
+};
+
+ConfidenceInterval confidence95(const std::vector<double> &samples);
+
+} // namespace emv
+
+#endif // EMV_COMMON_STATS_HH

@@ -1,0 +1,27 @@
+#include "common/types.hh"
+
+#include <cstdio>
+
+namespace emv {
+
+const char *
+pageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return "4K";
+      case PageSize::Size2M: return "2M";
+      case PageSize::Size1G: return "1G";
+    }
+    return "?";
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace emv

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Fundamental address and page-size types shared by every emv module.
+ *
+ * The paper distinguishes three address spaces: guest virtual (gVA),
+ * guest physical (gPA) and host physical (hPA).  We give each its own
+ * strong type so that a gPA can never silently flow into an API that
+ * expects an hPA — the class of bug that would invalidate a
+ * translation-correctness study.
+ */
+
+#ifndef EMV_COMMON_TYPES_HH
+#define EMV_COMMON_TYPES_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace emv {
+
+/** Raw 64-bit address payload. */
+using Addr = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycles = std::uint64_t;
+
+/** Page sizes supported by x86-64 paging. */
+enum class PageSize : std::uint8_t {
+    Size4K,
+    Size2M,
+    Size1G,
+};
+
+/** Number of bytes for a PageSize. */
+constexpr Addr
+pageBytes(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 1ull << 12;
+      case PageSize::Size2M: return 1ull << 21;
+      case PageSize::Size1G: return 1ull << 30;
+    }
+    return 1ull << 12;
+}
+
+/** Number of page-offset bits for a PageSize. */
+constexpr unsigned
+pageShift(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 12;
+      case PageSize::Size2M: return 21;
+      case PageSize::Size1G: return 30;
+    }
+    return 12;
+}
+
+/** Human-readable name ("4K", "2M", "1G"). */
+const char *pageSizeName(PageSize size);
+
+constexpr Addr kPage4K = 1ull << 12;
+constexpr Addr kPage2M = 1ull << 21;
+constexpr Addr kPage1G = 1ull << 30;
+
+constexpr Addr KiB = 1ull << 10;
+constexpr Addr MiB = 1ull << 20;
+constexpr Addr GiB = 1ull << 30;
+
+/** Round @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, Addr align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, Addr align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True if @p addr is a multiple of @p align (power of two). */
+constexpr bool
+isAligned(Addr addr, Addr align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/**
+ * Strongly typed address.  The Tag parameter makes GuestVirtAddr,
+ * GuestPhysAddr and HostPhysAddr mutually incompatible at compile
+ * time while remaining trivially copyable 8-byte values.
+ */
+template <typename Tag>
+class TypedAddr
+{
+  public:
+    constexpr TypedAddr() = default;
+    constexpr explicit TypedAddr(Addr value) : _value(value) {}
+
+    constexpr Addr value() const { return _value; }
+
+    constexpr auto operator<=>(const TypedAddr &) const = default;
+
+    constexpr TypedAddr operator+(Addr delta) const
+    { return TypedAddr(_value + delta); }
+    constexpr TypedAddr operator-(Addr delta) const
+    { return TypedAddr(_value - delta); }
+    constexpr Addr operator-(TypedAddr other) const
+    { return _value - other._value; }
+
+    /** Page-align this address down for the given page size. */
+    constexpr TypedAddr pageBase(PageSize size) const
+    { return TypedAddr(alignDown(_value, pageBytes(size))); }
+
+    /** Offset within the page of the given size. */
+    constexpr Addr pageOffset(PageSize size) const
+    { return _value & (pageBytes(size) - 1); }
+
+  private:
+    Addr _value = 0;
+};
+
+struct GuestVirtTag {};
+struct GuestPhysTag {};
+struct HostPhysTag {};
+
+/** Guest virtual address (gVA). */
+using GuestVirtAddr = TypedAddr<GuestVirtTag>;
+/** Guest physical address (gPA). */
+using GuestPhysAddr = TypedAddr<GuestPhysTag>;
+/** Host physical address (hPA). */
+using HostPhysAddr = TypedAddr<HostPhysTag>;
+
+/** Format an address as 0x-prefixed hex. */
+std::string hexAddr(Addr addr);
+
+} // namespace emv
+
+namespace std {
+
+template <typename Tag>
+struct hash<emv::TypedAddr<Tag>>
+{
+    size_t operator()(const emv::TypedAddr<Tag> &addr) const noexcept
+    {
+        return std::hash<emv::Addr>()(addr.value());
+    }
+};
+
+} // namespace std
+
+#endif // EMV_COMMON_TYPES_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cycle cost model for translation events.
+ *
+ * Prices are per-event latencies added on top of the workload's base
+ * execution.  Defaults are calibrated to the paper's SandyBridge
+ * testbed ballpark: an L2 TLB hit costs a handful of cycles, a walk
+ * reference costs either a cache hit (~L2/L3 latency) or a memory
+ * access, and each base-bound check costs one cycle (the paper's
+ * pessimistic Δ assumption, §VII).
+ */
+
+#ifndef EMV_CORE_COST_MODEL_HH
+#define EMV_CORE_COST_MODEL_HH
+
+#include "common/types.hh"
+
+namespace emv::core {
+
+/** All translation-path latencies in cycles. */
+struct CostModel
+{
+    /** L1 TLB hit adds nothing over base execution. */
+    Cycles l1HitCycles = 0;
+
+    /** L2 TLB hit latency (charged on hits only; the probe on a
+     *  miss overlaps the walk start). */
+    Cycles l2HitCycles = 7;
+
+    /** One base-bound check / segment addition (the paper's Δ unit:
+     *  Δ_VD = 5 of these, Δ_GD = 1). */
+    Cycles segmentCheckCycles = 1;
+
+    /** Walk reference whose PTE line is cache-resident. */
+    Cycles pteCacheHitCycles = 6;
+
+    /** Walk reference that misses to memory. */
+    Cycles pteMemCycles = 150;
+
+    /** Nested-TLB (shared L2) hit during a 2D walk. */
+    Cycles nestedTlbHitCycles = 7;
+
+    /** VM exit + entry round trip (shadow-paging syncs, balloon
+     *  operations, ...). */
+    Cycles vmExitCycles = 2000;
+
+    /** Guest page-fault handling (demand paging). */
+    Cycles guestFaultCycles = 1500;
+
+    /** TLB shootdown on unmap. */
+    Cycles shootdownCycles = 500;
+};
+
+} // namespace emv::core
+
+#endif // EMV_CORE_COST_MODEL_HH

@@ -1,0 +1,45 @@
+#include "core/linear_model.hh"
+
+namespace emv::core {
+
+double
+predictDirectSegmentCycles(const ModelInputs &in)
+{
+    return in.cyclesPerMissNative * (1.0 - in.fractionDirectSegment) *
+           in.missesNative;
+}
+
+double
+predictDualDirectCycles(const ModelInputs &in)
+{
+    const double covered =
+        in.fractionBoth + in.fractionVmmOnly + in.fractionGuestOnly;
+    const double rest = covered > 1.0 ? 0.0 : 1.0 - covered;
+    return ((in.cyclesPerMissNative + kDeltaVmmDirect) *
+                in.fractionVmmOnly +
+            (in.cyclesPerMissNative + kDeltaGuestDirect) *
+                in.fractionGuestOnly +
+            in.cyclesPerMissVirtualized * rest) *
+           in.missesNative;
+}
+
+double
+predictVmmDirectCycles(const ModelInputs &in)
+{
+    return ((in.cyclesPerMissNative + kDeltaVmmDirect) *
+                in.fractionVmmOnly +
+            in.cyclesPerMissVirtualized * (1.0 - in.fractionVmmOnly)) *
+           in.missesNative;
+}
+
+double
+predictGuestDirectCycles(const ModelInputs &in)
+{
+    return ((in.cyclesPerMissNative + kDeltaGuestDirect) *
+                in.fractionGuestOnly +
+            in.cyclesPerMissVirtualized *
+                (1.0 - in.fractionGuestOnly)) *
+           in.missesNative;
+}
+
+} // namespace emv::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table IV: linear models for cycles spent on page walks.
+ *
+ * The paper predicts each proposed design's walk cycles from
+ * measured native/virtualized baselines:
+ *
+ *   C_n, C_v — cycles per TLB miss, native / virtualized
+ *   M_n      — native TLB miss count
+ *   F_DS/F_DD/F_VD/F_GD — fraction of misses inside the respective
+ *                         segment(s)
+ *   Δ_VD = 5, Δ_GD = 1 — base-bound check overhead per walk
+ *
+ * We implement the same models so benches can compare analytic
+ * predictions against full simulation (bench/tab04_models).
+ */
+
+#ifndef EMV_CORE_LINEAR_MODEL_HH
+#define EMV_CORE_LINEAR_MODEL_HH
+
+#include <cstdint>
+
+namespace emv::core {
+
+/** Inputs shared by all Table IV models. */
+struct ModelInputs
+{
+    double cyclesPerMissNative = 0.0;       //!< C_n
+    double cyclesPerMissVirtualized = 0.0;  //!< C_v
+    double missesNative = 0.0;              //!< M_n
+    double fractionDirectSegment = 0.0;     //!< F_DS
+    double fractionBoth = 0.0;              //!< F_DD
+    double fractionVmmOnly = 0.0;           //!< F_VD
+    double fractionGuestOnly = 0.0;         //!< F_GD
+};
+
+/** Δ values from §VII (1 cycle per base-bound check). */
+constexpr double kDeltaVmmDirect = 5.0;
+constexpr double kDeltaGuestDirect = 1.0;
+
+/** Direct Segment: C_n * (1 - F_DS) * M_n. */
+double predictDirectSegmentCycles(const ModelInputs &in);
+
+/**
+ * Dual Direct: [(C_n+Δ_VD)F_VD + (C_n+Δ_GD)F_GD +
+ *               C_v(1-F_GD-F_VD-F_DD)] * M_n.
+ */
+double predictDualDirectCycles(const ModelInputs &in);
+
+/** VMM Direct: [(C_n+Δ_VD)F_VD + C_v(1-F_VD)] * M_n. */
+double predictVmmDirectCycles(const ModelInputs &in);
+
+/** Guest Direct: [(C_n+Δ_GD)F_GD + C_v(1-F_GD)] * M_n. */
+double predictGuestDirectCycles(const ModelInputs &in);
+
+} // namespace emv::core
+
+#endif // EMV_CORE_LINEAR_MODEL_HH

@@ -1,0 +1,526 @@
+#include "core/mmu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/phys_memory.hh"
+
+namespace emv::core {
+
+using paging::RefStage;
+using paging::WalkOutcome;
+using paging::WalkTrace;
+
+Mmu::Mmu(mem::PhysMemory &host_mem, const MmuConfig &config)
+    : hostMem(host_mem), config(config),
+      walker(host_mem), nestedWalker(host_mem),
+      tlbHier(config.tlbGeometry),
+      guestPsc(config.pscSets, config.pscWays),
+      nestedPsc(config.pscSets, config.pscWays),
+      pteLines(config.pteLineSets, config.pteLineWays),
+      _vmmFilter(std::make_unique<segment::EscapeFilter>(
+          config.filterBits, config.filterHashes, config.filterSeed)),
+      _guestFilter(std::make_unique<segment::EscapeFilter>(
+          config.filterBits, config.filterHashes,
+          config.filterSeed ^ 0x9e3779b9ull)),
+      accessesCtr(&_stats.counter("accesses")),
+      l1HitsCtr(&_stats.counter("l1_hits")),
+      l1MissesCtr(&_stats.counter("l1_misses")),
+      l2HitsCtr(&_stats.counter("l2_hits")),
+      l2MissesCtr(&_stats.counter("l2_misses")),
+      walksCtr(&_stats.counter("walks")),
+      ddFastHitsCtr(&_stats.counter("dd_fast_hits")),
+      dsFastHitsCtr(&_stats.counter("ds_fast_hits")),
+      catBothCtr(&_stats.counter("cat_both")),
+      catVmmOnlyCtr(&_stats.counter("cat_vmm_only")),
+      catGuestOnlyCtr(&_stats.counter("cat_guest_only")),
+      catNeitherCtr(&_stats.counter("cat_neither")),
+      guestRefsCtr(&_stats.counter("guest_refs")),
+      nestedRefsCtr(&_stats.counter("nested_refs")),
+      nativeRefsCtr(&_stats.counter("native_refs")),
+      calcsCtr(&_stats.counter("calculations")),
+      nestedTlbHitsCtr(&_stats.counter("nested_tlb_hits")),
+      nestedTlbMissesCtr(&_stats.counter("nested_tlb_misses")),
+      escapeSlowCtr(&_stats.counter("escape_slow_paths")),
+      faultsCtr(&_stats.counter("faults")),
+      walkCyclesScl(&_stats.scalar("walk_cycles")),
+      translationCyclesScl(&_stats.scalar("translation_cycles")),
+      perWalkCyclesDist(&_stats.distribution("cycles_per_walk"))
+{
+}
+
+void
+Mmu::setMode(Mode mode)
+{
+    if (mode == _mode)
+        return;
+    _mode = mode;
+    // Mode changes re-interpret TLB content conservatively.
+    flushAll();
+}
+
+void
+Mmu::setNativeRoot(Addr root_pa)
+{
+    nativeRoot = root_pa;
+    nativeRootValid = true;
+}
+
+void
+Mmu::setGuestRoot(Addr root_gpa)
+{
+    guestRoot = root_gpa;
+    guestRootValid = true;
+}
+
+void
+Mmu::setNestedRoot(Addr root_hpa)
+{
+    nestedRoot = root_hpa;
+    nestedRootValid = true;
+}
+
+void
+Mmu::setGuestSegment(const segment::SegmentRegs &regs)
+{
+    emv_assert(isAligned(regs.base(), kPage4K) &&
+               isAligned(regs.limit(), kPage4K) &&
+               isAligned(regs.offset(), kPage4K),
+               "guest segment registers must be page aligned");
+    guestSeg = regs;
+}
+
+void
+Mmu::setVmmSegment(const segment::SegmentRegs &regs)
+{
+    emv_assert(isAligned(regs.base(), kPage4K) &&
+               isAligned(regs.limit(), kPage4K) &&
+               isAligned(regs.offset(), kPage4K),
+               "VMM segment registers must be page aligned");
+    vmmSeg = regs;
+}
+
+void
+Mmu::flushGuestContext()
+{
+    tlbHier.flushGuest();
+    guestPsc.flush();
+}
+
+void
+Mmu::flushAll()
+{
+    tlbHier.flushAll();
+    guestPsc.flush();
+    nestedPsc.flush();
+    pteLines.flush();
+}
+
+void
+Mmu::invalidateGuestPage(Addr gva, PageSize size)
+{
+    tlbHier.flushGuestPage(gva, size);
+    // A conservative hardware would also drop PSC entries along the
+    // path; flushing the guest PSC entirely models an INVLPG's
+    // effect on paging-structure caches.
+    guestPsc.flush();
+}
+
+void
+Mmu::invalidateNestedPage(Addr gpa, PageSize size)
+{
+    tlbHier.flushNestedPage(gpa, size);
+    nestedPsc.flush();
+    // Guest entries whose translations flow through this nested page
+    // are stale; without reverse maps, hardware flushes them all.
+    tlbHier.flushGuest();
+}
+
+PageSize
+Mmu::segmentGranule(std::uint64_t offset)
+{
+    if (isAligned(offset, kPage1G))
+        return PageSize::Size1G;
+    if (isAligned(offset, kPage2M))
+        return PageSize::Size2M;
+    return PageSize::Size4K;
+}
+
+Cycles
+Mmu::priceTrace(const WalkTrace &trace)
+{
+    const CostModel &costs = config.costs;
+    Cycles cycles =
+        trace.calculations * costs.segmentCheckCycles;
+    for (const auto &ref : trace.refs) {
+        cycles += pteLines.access(ref.hpa) ? costs.pteCacheHitCycles
+                                           : costs.pteMemCycles;
+    }
+    return cycles;
+}
+
+WalkOutcome
+Mmu::nestedToHost(Addr gpa, WalkTrace &trace)
+{
+    emv_assert(nestedRootValid, "nested walk without a nested root");
+    if (config.nestedTlbShared) {
+        if (auto hit = tlbHier.lookupNested(gpa)) {
+            ++*nestedTlbHitsCtr;
+            walkSideCycles += config.costs.nestedTlbHitCycles;
+            WalkOutcome out;
+            out.pa = hit->frame + (gpa & (pageBytes(hit->size) - 1));
+            out.size = hit->size;
+            out.ok = true;
+            return out;
+        }
+        ++*nestedTlbMissesCtr;
+    }
+    WalkOutcome out =
+        walker.walk(nestedRoot, gpa, RefStage::NestedTable, trace,
+                    config.walkCachesEnabled ? &nestedPsc : nullptr);
+    if (!out.ok) {
+        pendingFaultSpace = FaultSpace::Nested;
+        pendingFaultAddr = gpa;
+        return out;
+    }
+    if (config.nestedTlbShared) {
+        tlbHier.insertNested(alignDown(gpa, pageBytes(out.size)),
+                             alignDown(out.pa, pageBytes(out.size)),
+                             out.size);
+    }
+    return out;
+}
+
+WalkOutcome
+Mmu::segmentToHost(Addr gpa, WalkTrace &trace, bool &used_paging)
+{
+    if (vmmSeg.enabled()) {
+        ++trace.calculations;  // The base-bound check always runs.
+        if (vmmSeg.contains(gpa)) {
+            if (!_vmmFilter->mayContain(gpa)) {
+                WalkOutcome out;
+                out.pa = vmmSeg.translate(gpa);
+                // Granule limited by offset alignment and by the
+                // page staying inside the segment.
+                PageSize granule = segmentGranule(vmmSeg.offset());
+                while (granule != PageSize::Size4K) {
+                    const Addr page = alignDown(gpa, pageBytes(granule));
+                    if (page >= vmmSeg.base() &&
+                        page + pageBytes(granule) <= vmmSeg.limit()) {
+                        break;
+                    }
+                    granule = granule == PageSize::Size1G
+                                  ? PageSize::Size2M
+                                  : PageSize::Size4K;
+                }
+                out.size = granule;
+                out.ok = true;
+                return out;
+            }
+            ++*escapeSlowCtr;
+        }
+    }
+    used_paging = true;
+    return nestedToHost(gpa, trace);
+}
+
+/** Adapter: nested paging only (base virtualized, guest direct). */
+class NestedPagingTranslator : public paging::GpaTranslator
+{
+  public:
+    explicit NestedPagingTranslator(Mmu &mmu) : mmu(mmu) {}
+
+    WalkOutcome
+    toHost(Addr gpa, WalkTrace &trace) override
+    {
+        return mmu.nestedToHost(gpa, trace);
+    }
+
+  private:
+    Mmu &mmu;
+};
+
+/** Adapter: VMM segment first, nested paging fallback. */
+class SegmentFirstTranslator : public paging::GpaTranslator
+{
+  public:
+    explicit SegmentFirstTranslator(Mmu &mmu) : mmu(mmu) {}
+
+    WalkOutcome
+    toHost(Addr gpa, WalkTrace &trace) override
+    {
+        return mmu.segmentToHost(gpa, trace, usedPaging);
+    }
+
+    bool usedPaging = false;
+
+  private:
+    Mmu &mmu;
+};
+
+WalkOutcome
+Mmu::doWalk(Addr gva, WalkTrace &trace, TranslationResult &result)
+{
+    (void)result;
+    switch (_mode) {
+      case Mode::Native:
+      case Mode::NativeDirect: {
+        emv_assert(nativeRootValid, "native walk without a root");
+        return walker.walk(
+            nativeRoot, gva, RefStage::NativeTable, trace,
+            config.walkCachesEnabled ? &guestPsc : nullptr);
+      }
+
+      case Mode::BaseVirtualized: {
+        emv_assert(guestRootValid, "2D walk without a guest root");
+        NestedPagingTranslator tx(*this);
+        return nestedWalker.walk(
+            guestRoot, gva, tx, trace,
+            config.walkCachesEnabled ? &guestPsc : nullptr);
+      }
+
+      case Mode::VmmDirect: {
+        emv_assert(guestRootValid, "2D walk without a guest root");
+        SegmentFirstTranslator tx(*this);
+        WalkOutcome out = nestedWalker.walk(
+            guestRoot, gva, tx, trace,
+            config.walkCachesEnabled ? &guestPsc : nullptr);
+        if (out.ok) {
+            if (vmmSeg.enabled() && !tx.usedPaging)
+                ++*catVmmOnlyCtr;
+            else
+                ++*catNeitherCtr;
+        }
+        return out;
+      }
+
+      case Mode::GuestDirect: {
+        if (guestSeg.contains(gva) &&
+            !_guestFilter->mayContain(gva)) {
+            ++trace.calculations;
+            const Addr gpa = guestSeg.translate(gva);
+            WalkOutcome out = nestedToHost(gpa, trace);
+            if (out.ok) {
+                ++*catGuestOnlyCtr;
+                // The linear gVA→gPA map adds no granule limit
+                // beyond the guest-segment offset alignment.
+                out.size = std::min(out.size,
+                                    segmentGranule(guestSeg.offset()));
+            }
+            return out;
+        }
+        if (guestSeg.enabled())
+            ++trace.calculations;  // Failed base-bound check.
+        emv_assert(guestRootValid, "2D walk without a guest root");
+        NestedPagingTranslator tx(*this);
+        WalkOutcome out = nestedWalker.walk(
+            guestRoot, gva, tx, trace,
+            config.walkCachesEnabled ? &guestPsc : nullptr);
+        if (out.ok)
+            ++*catNeitherCtr;
+        return out;
+      }
+
+      case Mode::DualDirect: {
+        if (guestSeg.contains(gva) &&
+            !_guestFilter->mayContain(gva)) {
+            // "Guest segment only" (Table I): the both-segments case
+            // was already handled before the L2 lookup.
+            ++trace.calculations;
+            const Addr gpa = guestSeg.translate(gva);
+            bool used_paging = false;
+            WalkOutcome out = segmentToHost(gpa, trace, used_paging);
+            if (out.ok) {
+                if (used_paging)
+                    ++*catGuestOnlyCtr;
+                else
+                    ++*catBothCtr;  // Escape-filter re-check passed.
+                out.size = std::min(out.size,
+                                    segmentGranule(guestSeg.offset()));
+            }
+            return out;
+        }
+        if (guestSeg.enabled())
+            ++trace.calculations;
+        emv_assert(guestRootValid, "2D walk without a guest root");
+        SegmentFirstTranslator tx(*this);
+        WalkOutcome out = nestedWalker.walk(
+            guestRoot, gva, tx, trace,
+            config.walkCachesEnabled ? &guestPsc : nullptr);
+        if (out.ok) {
+            if (vmmSeg.enabled() && !tx.usedPaging)
+                ++*catVmmOnlyCtr;
+            else
+                ++*catNeitherCtr;
+        }
+        return out;
+      }
+    }
+    emv_panic("unhandled mode in doWalk");
+}
+
+TranslationResult
+Mmu::translate(Addr gva)
+{
+    ++*accessesCtr;
+    TranslationResult result;
+    const CostModel &costs = config.costs;
+
+    // 1. L1 TLB.
+    if (auto hit = tlbHier.lookupL1(gva)) {
+        ++*l1HitsCtr;
+        result.hpa = hit->frame + (gva & (pageBytes(hit->size) - 1));
+        result.ok = true;
+        result.cycles = costs.l1HitCycles;
+        result.path = TranslatePath::L1Hit;
+        *translationCyclesScl += static_cast<double>(result.cycles);
+        return result;
+    }
+    ++*l1MissesCtr;
+
+    // 2. Dual Direct fast path: both segments hit => 0D walk.  The
+    //    guest-level escape filter (the §V "both levels" extension,
+    //    e.g. guard pages) is checked in parallel with the guest
+    //    segment registers.
+    if (_mode == Mode::DualDirect && guestSeg.contains(gva) &&
+        !_guestFilter->mayContain(gva)) {
+        const Addr gpa = guestSeg.translate(gva);
+        if (vmmSeg.contains(gpa) && !_vmmFilter->mayContain(gpa)) {
+            ++*ddFastHitsCtr;
+            ++*catBothCtr;
+            const Addr hpa = vmmSeg.translate(gpa);
+            // Table II: one (combined) base-bound check.
+            result.cycles = costs.segmentCheckCycles;
+            result.hpa = hpa;
+            result.ok = true;
+            result.path = TranslatePath::DualSegment;
+            tlbHier.l1For(PageSize::Size4K)
+                .insert(tlb::EntryKind::Guest, gva,
+                        alignDown(hpa, kPage4K), PageSize::Size4K);
+            *translationCyclesScl += static_cast<double>(result.cycles);
+            return result;
+        }
+    }
+
+    // 2b. Unvirtualized direct segment: checked in parallel with the
+    //     L2 lookup (§III.D's less intrusive placement).
+    if (_mode == Mode::NativeDirect && guestSeg.contains(gva) &&
+        _guestFilter->mayContain(gva)) {
+        ++*escapeSlowCtr;  // Escaped page: conventional paging.
+    }
+    if (_mode == Mode::NativeDirect && guestSeg.contains(gva) &&
+        !_guestFilter->mayContain(gva)) {
+        ++*dsFastHitsCtr;
+        const Addr pa = guestSeg.translate(gva);
+        result.cycles = costs.segmentCheckCycles;
+        result.hpa = pa;
+        result.ok = true;
+        result.path = TranslatePath::NativeSegment;
+        tlbHier.l1For(PageSize::Size4K)
+            .insert(tlb::EntryKind::Guest, gva, alignDown(pa, kPage4K),
+                    PageSize::Size4K);
+        *translationCyclesScl += static_cast<double>(result.cycles);
+        return result;
+    }
+
+    // 3. L2 TLB.
+    if (auto hit = tlbHier.lookupL2(gva)) {
+        ++*l2HitsCtr;
+        result.hpa = hit->frame + (gva & (pageBytes(hit->size) - 1));
+        result.ok = true;
+        result.cycles = costs.l2HitCycles;
+        result.path = TranslatePath::L2Hit;
+        tlbHier.l1For(hit->size)
+            .insert(tlb::EntryKind::Guest,
+                    alignDown(gva, pageBytes(hit->size)), hit->frame,
+                    hit->size);
+        *translationCyclesScl += static_cast<double>(result.cycles);
+        return result;
+    }
+    ++*l2MissesCtr;
+
+    // 4. Page walk (mode-flattened).
+    pendingFaultSpace = FaultSpace::None;
+    pendingFaultAddr = 0;
+    walkSideCycles = 0;
+    WalkTrace trace;
+    trace.refs.reserve(24);
+    WalkOutcome out = doWalk(gva, trace, result);
+    if (!out.ok) {
+        ++*faultsCtr;
+        result.ok = false;
+        result.path = TranslatePath::Fault;
+        result.faultSpace = pendingFaultSpace == FaultSpace::None
+                                ? FaultSpace::Guest
+                                : pendingFaultSpace;
+        result.faultAddr = pendingFaultSpace == FaultSpace::None
+                               ? gva
+                               : pendingFaultAddr;
+        return result;
+    }
+
+    ++*walksCtr;
+    const Cycles walk_cycles = priceTrace(trace) + walkSideCycles;
+    result.cycles = walk_cycles;
+    result.hpa = out.pa;
+    result.ok = true;
+    result.path = TranslatePath::Walk;
+
+    for (const auto &ref : trace.refs) {
+        switch (ref.stage) {
+          case RefStage::GuestTable: ++*guestRefsCtr; break;
+          case RefStage::NestedTable: ++*nestedRefsCtr; break;
+          case RefStage::NativeTable:
+          case RefStage::ShadowTable: ++*nativeRefsCtr; break;
+        }
+    }
+    *calcsCtr += trace.calculations;
+    *walkCyclesScl += static_cast<double>(walk_cycles);
+    *translationCyclesScl += static_cast<double>(walk_cycles);
+    perWalkCyclesDist->sample(static_cast<double>(walk_cycles));
+
+    tlbHier.insertGuest(alignDown(gva, pageBytes(out.size)),
+                        alignDown(out.pa, pageBytes(out.size)),
+                        out.size);
+    return result;
+}
+
+double
+Mmu::fractionBoth() const
+{
+    const double denom = static_cast<double>(
+        _stats.counterValue("dd_fast_hits") +
+        _stats.counterValue("ds_fast_hits") +
+        _stats.counterValue("walks"));
+    if (denom == 0.0)
+        return 0.0;
+    return static_cast<double>(_stats.counterValue("cat_both")) / denom;
+}
+
+double
+Mmu::fractionVmmOnly() const
+{
+    const double denom = static_cast<double>(
+        _stats.counterValue("dd_fast_hits") +
+        _stats.counterValue("ds_fast_hits") +
+        _stats.counterValue("walks"));
+    if (denom == 0.0)
+        return 0.0;
+    return static_cast<double>(_stats.counterValue("cat_vmm_only")) /
+           denom;
+}
+
+double
+Mmu::fractionGuestOnly() const
+{
+    const double denom = static_cast<double>(
+        _stats.counterValue("dd_fast_hits") +
+        _stats.counterValue("ds_fast_hits") +
+        _stats.counterValue("walks"));
+    if (denom == 0.0)
+        return 0.0;
+    return static_cast<double>(_stats.counterValue("cat_guest_only")) /
+           denom;
+}
+
+} // namespace emv::core

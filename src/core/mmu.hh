@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The proposed MMU: Fig. 5's translation flow chart.
+ *
+ * One Mmu implements all six modes.  Switching mode only changes
+ * which segment register sets are live and how the page-walk state
+ * machine flattens dimensions — mirroring the paper's observation
+ * that setting BASE = LIMIT "nullifies" the corresponding boxes of
+ * the flow chart.
+ *
+ * Flow on every access:
+ *   1. L1 TLB lookup (split 4K/2M/1G) — hit ends translation.
+ *   2. Dual Direct only: both-segment check; a hit computes
+ *      hPA = gVA + OFFSET_G + OFFSET_V and refills the L1 (a 0D
+ *      walk).  The escape filter is checked in parallel.
+ *   3. L2 TLB lookup (the unvirtualized direct-segment check also
+ *      runs here, in parallel with the L2 — the "less intrusive
+ *      hardware" of §III.D).
+ *   4. Page walk, flattened per mode:
+ *        Native/NativeDirect: 1D walk.
+ *        BaseVirtualized:     2D walk; gPA→hPA via nested TLB
+ *                             entries in the shared L2, else nested
+ *                             table walk.
+ *        VmmDirect:           guest walk with each gPA translated by
+ *                             the VMM segment (escape filter aware),
+ *                             falling back to nested paging.
+ *        GuestDirect:         gPA = gVA + OFFSET_G, then nested
+ *                             translation of the data gPA only.
+ *        DualDirect:          Table I's "VMM only" / "Guest only" /
+ *                             "Neither" categories.
+ */
+
+#ifndef EMV_CORE_MMU_HH
+#define EMV_CORE_MMU_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/cost_model.hh"
+#include "core/mode.hh"
+#include "paging/nested_walker.hh"
+#include "paging/walker.hh"
+#include "segment/direct_segment.hh"
+#include "segment/escape_filter.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "tlb/walk_cache.hh"
+
+namespace emv::mem { class PhysMemory; }
+
+namespace emv::core {
+
+/** Construction-time knobs. */
+struct MmuConfig
+{
+    tlb::TlbGeometry tlbGeometry{};
+    CostModel costs{};
+
+    bool walkCachesEnabled = true;      //!< Paging-structure caches.
+    bool nestedTlbShared = true;        //!< Nested entries use the L2.
+    unsigned pscSets = 8;               //!< Per-dimension PSC sets.
+    unsigned pscWays = 4;
+    unsigned pteLineSets = 512;         //!< PTE-line cache (x ways x 64B).
+    unsigned pteLineWays = 8;
+
+    unsigned filterBits = 256;          //!< Escape filter geometry.
+    unsigned filterHashes = 4;
+    std::uint64_t filterSeed = 0x5eedf117e2ull;
+};
+
+/** Which address space faulted during a translation. */
+enum class FaultSpace { None, Guest, Nested };
+
+/** How a translation was resolved (for stats / tests). */
+enum class TranslatePath {
+    L1Hit,
+    DualSegment,     //!< Both segments (0D) — Table I "Both".
+    NativeSegment,   //!< Unvirtualized direct segment.
+    L2Hit,
+    Walk,
+    Fault,
+};
+
+/** Result of Mmu::translate(). */
+struct TranslationResult
+{
+    Addr hpa = 0;
+    bool ok = false;
+    Cycles cycles = 0;            //!< Translation overhead cycles.
+    TranslatePath path = TranslatePath::Fault;
+    FaultSpace faultSpace = FaultSpace::None;
+    Addr faultAddr = 0;           //!< gVA or gPA that faulted.
+};
+
+/**
+ * The MMU.  Owns the TLB hierarchy, walk caches, segment registers
+ * and escape filters; the walkers read page tables out of host
+ * physical memory.
+ */
+class Mmu
+{
+  public:
+    Mmu(mem::PhysMemory &host_mem, const MmuConfig &config = {});
+
+    /** @{ Mode and translation-source plumbing. */
+    void setMode(Mode mode);
+    Mode mode() const { return _mode; }
+
+    /** Root of the native (or shadow) 1D table, a host PA. */
+    void setNativeRoot(Addr root_pa);
+    /** Root of the guest page table, a *guest* PA. */
+    void setGuestRoot(Addr root_gpa);
+    /** Root of the nested page table, a host PA. */
+    void setNestedRoot(Addr root_hpa);
+
+    void setGuestSegment(const segment::SegmentRegs &regs);
+    void setVmmSegment(const segment::SegmentRegs &regs);
+    const segment::SegmentRegs &guestSegment() const
+    { return guestSeg; }
+    const segment::SegmentRegs &vmmSegment() const { return vmmSeg; }
+
+    /** Escape filter over the VMM segment (Dual/VMM Direct). */
+    segment::EscapeFilter &vmmFilter() { return *_vmmFilter; }
+    /** Escape filter over the guest segment (Direct Segment mode). */
+    segment::EscapeFilter &guestFilter() { return *_guestFilter; }
+    /** @} */
+
+    /**
+     * Translate one guest virtual (or native virtual) address.
+     * Faults do not modify TLB state; callers service the fault and
+     * retry.
+     */
+    TranslationResult translate(Addr gva);
+
+    /** Guest process context switch: guest TLB entries + guest PSC. */
+    void flushGuestContext();
+
+    /** VM switch or nested-table change: everything. */
+    void flushAll();
+
+    /** Invalidate one guest page (guest unmap / remap). */
+    void invalidateGuestPage(Addr gva, PageSize size);
+
+    /** Invalidate one nested page (VMM remap / swap / migration). */
+    void invalidateNestedPage(Addr gpa, PageSize size);
+
+    tlb::TlbHierarchy &tlbs() { return tlbHier; }
+    StatGroup &stats() { return _stats; }
+    const CostModel &costs() const { return config.costs; }
+    const MmuConfig &configuration() const { return config; }
+
+    /**
+     * Translation fractions measured so far, for the Table IV
+     * linear models: F_DD, F_VD, F_GD over all walks + DD fast hits.
+     */
+    double fractionBoth() const;
+    double fractionVmmOnly() const;
+    double fractionGuestOnly() const;
+
+  private:
+    friend class NestedPagingTranslator;
+    friend class SegmentFirstTranslator;
+
+    /** Price a trace's refs through the PTE-line cache. */
+    Cycles priceTrace(const paging::WalkTrace &trace);
+
+    /** Mode-dispatched walk; fills trace and category stats. */
+    paging::WalkOutcome doWalk(Addr gva, paging::WalkTrace &trace,
+                               TranslationResult &result);
+
+    /** gPA→hPA via nested TLB + nested table walk. */
+    paging::WalkOutcome nestedToHost(Addr gpa,
+                                     paging::WalkTrace &trace);
+
+    /** gPA→hPA via VMM segment (filter-aware), else nested paging. */
+    paging::WalkOutcome segmentToHost(Addr gpa,
+                                      paging::WalkTrace &trace,
+                                      bool &used_paging);
+
+    /** Largest TLB granule consistent with a segment translation. */
+    static PageSize segmentGranule(std::uint64_t offset);
+
+    mem::PhysMemory &hostMem;
+    MmuConfig config;
+    Mode _mode = Mode::Native;
+
+    paging::Walker walker;
+    paging::NestedWalker nestedWalker;
+    tlb::TlbHierarchy tlbHier;
+    tlb::WalkCache guestPsc;
+    tlb::WalkCache nestedPsc;
+    tlb::LineCache pteLines;
+
+    Addr nativeRoot = 0;
+    Addr guestRoot = 0;
+    Addr nestedRoot = 0;
+    bool nativeRootValid = false;
+    bool guestRootValid = false;
+    bool nestedRootValid = false;
+
+    segment::SegmentRegs guestSeg;
+    segment::SegmentRegs vmmSeg;
+    std::unique_ptr<segment::EscapeFilter> _vmmFilter;
+    std::unique_ptr<segment::EscapeFilter> _guestFilter;
+
+    /** Per-walk scratch state (reset in translate()). */
+    FaultSpace pendingFaultSpace = FaultSpace::None;
+    Addr pendingFaultAddr = 0;
+    Cycles walkSideCycles = 0;
+
+    StatGroup _stats{"mmu"};
+    Counter *accessesCtr;
+    Counter *l1HitsCtr;
+    Counter *l1MissesCtr;
+    Counter *l2HitsCtr;
+    Counter *l2MissesCtr;
+    Counter *walksCtr;
+    Counter *ddFastHitsCtr;
+    Counter *dsFastHitsCtr;
+    Counter *catBothCtr;
+    Counter *catVmmOnlyCtr;
+    Counter *catGuestOnlyCtr;
+    Counter *catNeitherCtr;
+    Counter *guestRefsCtr;
+    Counter *nestedRefsCtr;
+    Counter *nativeRefsCtr;
+    Counter *calcsCtr;
+    Counter *nestedTlbHitsCtr;
+    Counter *nestedTlbMissesCtr;
+    Counter *escapeSlowCtr;
+    Counter *faultsCtr;
+    Scalar *walkCyclesScl;
+    Scalar *translationCyclesScl;
+    Distribution *perWalkCyclesDist;
+};
+
+} // namespace emv::core
+
+#endif // EMV_CORE_MMU_HH

@@ -1,0 +1,98 @@
+#include "core/mode.hh"
+
+#include "common/logging.hh"
+
+namespace emv::core {
+
+namespace {
+
+// Table II, with the two native modes added for completeness.
+const ModeTraits kTraits[] = {
+    // Native
+    {"Native", 1, 4, 0, false, false, "any",
+     Support::NotApplicable, Support::NotApplicable,
+     Support::Unrestricted, Support::NotApplicable},
+    // NativeDirect (original direct segments, §III.D)
+    {"Direct Segment", 0, 0, 1, true, false, "big memory",
+     Support::NotApplicable, Support::NotApplicable,
+     Support::Limited, Support::NotApplicable},
+    // BaseVirtualized
+    {"Base Virtualized", 2, 24, 0, false, false, "any",
+     Support::Unrestricted, Support::Unrestricted,
+     Support::Unrestricted, Support::Unrestricted},
+    // DualDirect
+    {"Dual Direct", 0, 0, 1, true, true, "big memory",
+     Support::Limited, Support::Limited,
+     Support::Limited, Support::Limited},
+    // VmmDirect
+    {"VMM Direct", 1, 4, 5, false, true, "any",
+     Support::Limited, Support::Limited,
+     Support::Unrestricted, Support::Limited},
+    // GuestDirect
+    {"Guest Direct", 1, 4, 1, true, false, "big memory",
+     Support::Unrestricted, Support::Unrestricted,
+     Support::Limited, Support::Unrestricted},
+};
+
+} // namespace
+
+const ModeTraits &
+modeTraits(Mode mode)
+{
+    const auto index = static_cast<unsigned>(mode);
+    emv_assert(index < std::size(kTraits), "unknown mode %u", index);
+    return kTraits[index];
+}
+
+const char *
+modeName(Mode mode)
+{
+    return modeTraits(mode).name;
+}
+
+const char *
+modeBarLabel(Mode mode)
+{
+    switch (mode) {
+      case Mode::Native: return "4K";
+      case Mode::NativeDirect: return "DS";
+      case Mode::BaseVirtualized: return "4K+4K";
+      case Mode::DualDirect: return "DD";
+      case Mode::VmmDirect: return "4K+VD";
+      case Mode::GuestDirect: return "4K+GD";
+    }
+    return "?";
+}
+
+bool
+isVirtualized(Mode mode)
+{
+    return mode == Mode::BaseVirtualized || mode == Mode::DualDirect ||
+           mode == Mode::VmmDirect || mode == Mode::GuestDirect;
+}
+
+bool
+usesGuestSegment(Mode mode)
+{
+    return mode == Mode::NativeDirect || mode == Mode::DualDirect ||
+           mode == Mode::GuestDirect;
+}
+
+bool
+usesVmmSegment(Mode mode)
+{
+    return mode == Mode::DualDirect || mode == Mode::VmmDirect;
+}
+
+const char *
+supportName(Support support)
+{
+    switch (support) {
+      case Support::Unrestricted: return "unrestricted";
+      case Support::Limited: return "limited";
+      case Support::NotApplicable: return "n/a";
+    }
+    return "?";
+}
+
+} // namespace emv::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Translation modes (Fig. 3) and their properties (Table II).
+ *
+ * The proposed hardware supports six modes per guest process: the
+ * two base modes (native 1D paging, virtualized 2D nested paging),
+ * the original direct-segment mode re-implemented with less
+ * intrusive hardware, and the three new virtualized modes.
+ */
+
+#ifndef EMV_CORE_MODE_HH
+#define EMV_CORE_MODE_HH
+
+#include <string>
+
+namespace emv::core {
+
+/** Address-translation operating mode. */
+enum class Mode {
+    Native,           //!< Unvirtualized 1D paging.
+    NativeDirect,     //!< Unvirtualized direct segment (§III.D).
+    BaseVirtualized,  //!< 2D nested paging (up to 24 refs).
+    DualDirect,       //!< Guest + VMM segments: 0D (§III.A).
+    VmmDirect,        //!< Paging + VMM segment: 1D (§III.B).
+    GuestDirect,      //!< Guest segment + nested paging: 1D (§III.C).
+};
+
+/** Degree of support for a VMM/OS service under a mode (Table II). */
+enum class Support {
+    Unrestricted,
+    Limited,
+    NotApplicable,
+};
+
+/** Static properties of a mode — the rows of Table II. */
+struct ModeTraits
+{
+    const char *name;
+    int walkDims;            //!< Page-walk dimensionality (2/1/0).
+    int walkRefs;            //!< Memory accesses for most walks.
+    int baseBoundChecks;     //!< Base-bound checks per walk.
+    bool guestOsChanges;     //!< Requires guest OS modifications.
+    bool vmmChanges;         //!< Requires VMM modifications.
+    const char *appCategory; //!< "any" or "big memory".
+    Support pageSharing;
+    Support ballooning;
+    Support guestSwapping;
+    Support vmmSwapping;
+};
+
+/** Table II row for @p mode. */
+const ModeTraits &modeTraits(Mode mode);
+
+/** Short printable name ("VMM Direct", ...). */
+const char *modeName(Mode mode);
+
+/** Name used in the paper's bar charts ("4K+VD", "DD", ...). */
+const char *modeBarLabel(Mode mode);
+
+/** True for the four virtualized modes. */
+bool isVirtualized(Mode mode);
+
+/** True for modes requiring an active guest segment. */
+bool usesGuestSegment(Mode mode);
+
+/** True for modes requiring an active VMM segment. */
+bool usesVmmSegment(Mode mode);
+
+const char *supportName(Support support);
+
+} // namespace emv::core
+
+#endif // EMV_CORE_MODE_HH

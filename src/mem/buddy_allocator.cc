@@ -1,0 +1,257 @@
+#include "mem/buddy_allocator.hh"
+
+#include "common/logging.hh"
+
+namespace emv::mem {
+
+namespace {
+
+constexpr Addr
+orderBytes(unsigned order)
+{
+    return kPage4K << order;
+}
+
+} // namespace
+
+unsigned
+BuddyAllocator::orderForBytes(Addr bytes)
+{
+    unsigned order = 0;
+    while (orderBytes(order) < bytes && order < kMaxOrder)
+        ++order;
+    emv_assert(orderBytes(order) >= bytes,
+               "allocation of %llu bytes exceeds max order block",
+               static_cast<unsigned long long>(bytes));
+    return order;
+}
+
+BuddyAllocator::BuddyAllocator(Addr base, Addr size_bytes)
+    : rangeBase(base), rangeSize(size_bytes),
+      freeLists(kMaxOrder + 1)
+{
+    emv_assert(isAligned(base, kPage4K), "buddy base must be 4K aligned");
+    emv_assert(size_bytes > 0 && isAligned(size_bytes, kPage4K),
+               "buddy size must be a positive 4K multiple");
+
+    // Seed the free lists with the largest naturally aligned blocks
+    // (alignment is relative to rangeBase) covering the range.
+    Addr offset = 0;
+    while (offset < size_bytes) {
+        unsigned order = kMaxOrder;
+        while (order > 0 &&
+               (!isAligned(offset, orderBytes(order)) ||
+                offset + orderBytes(order) > size_bytes)) {
+            --order;
+        }
+        freeLists[order].insert(base + offset);
+        offset += orderBytes(order);
+    }
+}
+
+bool
+BuddyAllocator::splitTo(unsigned order)
+{
+    // Retained for API compatibility: true if allocate(order) could
+    // succeed.
+    for (unsigned k = order; k <= kMaxOrder; ++k) {
+        if (!freeLists[k].empty())
+            return true;
+    }
+    return false;
+}
+
+std::optional<Addr>
+BuddyAllocator::allocate(unsigned order)
+{
+    emv_assert(order <= kMaxOrder, "order %u beyond max", order);
+
+    // Globally top-down: choose the candidate block (across all
+    // orders >= requested) with the highest end address, so low
+    // "kernel" memory is consumed last — like Linux preferring
+    // higher zones for movable allocations.
+    int best_order = -1;
+    Addr best_end = 0;
+    for (unsigned k = order; k <= kMaxOrder; ++k) {
+        if (freeLists[k].empty())
+            continue;
+        const Addr block = *std::prev(freeLists[k].end());
+        const Addr end = block + orderBytes(k);
+        if (best_order < 0 || end > best_end) {
+            best_order = static_cast<int>(k);
+            best_end = end;
+        }
+    }
+    if (best_order < 0) {
+        ++_stats.counter("alloc_failures");
+        return std::nullopt;
+    }
+
+    unsigned k = static_cast<unsigned>(best_order);
+    auto it = std::prev(freeLists[k].end());
+    Addr block = *it;
+    freeLists[k].erase(it);
+    // Split down, keeping the top half each time.
+    while (k > order) {
+        --k;
+        freeLists[k].insert(block);
+        block += orderBytes(k);
+    }
+    ++_stats.counter("allocations");
+    return block;
+}
+
+std::optional<Addr>
+BuddyAllocator::allocateBytes(Addr bytes)
+{
+    return allocate(orderForBytes(bytes));
+}
+
+void
+BuddyAllocator::insertFree(Addr block, unsigned order)
+{
+    // Coalesce with the buddy as long as it is also free.
+    while (order < kMaxOrder) {
+        const Addr offset = block - rangeBase;
+        const Addr buddy_offset = offset ^ orderBytes(order);
+        const Addr buddy = rangeBase + buddy_offset;
+        auto it = freeLists[order].find(buddy);
+        if (it == freeLists[order].end())
+            break;
+        freeLists[order].erase(it);
+        block = rangeBase + std::min(offset, buddy_offset);
+        ++order;
+    }
+    freeLists[order].insert(block);
+}
+
+void
+BuddyAllocator::free(Addr block, unsigned order)
+{
+    emv_assert(order <= kMaxOrder, "order %u beyond max", order);
+    emv_assert(block >= rangeBase &&
+               block + orderBytes(order) <= rangeBase + rangeSize,
+               "freed block %s outside managed range",
+               hexAddr(block).c_str());
+    ++_stats.counter("frees");
+    insertFree(block, order);
+}
+
+bool
+BuddyAllocator::rangeFree(Addr start, Addr length) const
+{
+    return freeIntervals().containsRange(start, start + length);
+}
+
+bool
+BuddyAllocator::allocateRange(Addr start, Addr length)
+{
+    emv_assert(isAligned(start, kPage4K) && isAligned(length, kPage4K),
+               "allocateRange arguments must be 4K aligned");
+    if (length == 0)
+        return true;
+    if (start < rangeBase || start + length > rangeBase + rangeSize)
+        return false;
+    if (!rangeFree(start, length))
+        return false;
+
+    const Addr end = start + length;
+    // Carve every free block that intersects [start, end): split
+    // blocks recursively; pieces fully inside are consumed, pieces
+    // outside go back on the free lists.
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        auto &list = freeLists[order];
+        for (auto it = list.begin(); it != list.end();) {
+            const Addr bstart = *it;
+            const Addr bend = bstart + orderBytes(order);
+            if (bend <= start || bstart >= end) {
+                ++it;
+                continue;
+            }
+            it = list.erase(it);
+            // Split this block into 4K pieces lazily: push halves
+            // that straddle the boundary back through the same logic.
+            struct Piece { Addr base; unsigned order; };
+            std::vector<Piece> work{{bstart, order}};
+            while (!work.empty()) {
+                Piece p = work.back();
+                work.pop_back();
+                const Addr pend = p.base + orderBytes(p.order);
+                if (p.base >= start && pend <= end)
+                    continue;  // Fully consumed by the reservation.
+                if (pend <= start || p.base >= end) {
+                    insertFree(p.base, p.order);
+                    continue;
+                }
+                emv_assert(p.order > 0, "carve reached order 0 straddle");
+                const unsigned h = p.order - 1;
+                work.push_back({p.base, h});
+                work.push_back({p.base + orderBytes(h), h});
+            }
+        }
+    }
+    ++_stats.counter("range_allocations");
+    return true;
+}
+
+void
+BuddyAllocator::freeRange(Addr start, Addr length)
+{
+    emv_assert(isAligned(start, kPage4K) && isAligned(length, kPage4K),
+               "freeRange arguments must be 4K aligned");
+    // Return the range as order-0..n blocks with natural alignment.
+    Addr addr = start;
+    const Addr end = start + length;
+    while (addr < end) {
+        unsigned order = 0;
+        const Addr offset = addr - rangeBase;
+        while (order < kMaxOrder &&
+               isAligned(offset, orderBytes(order + 1)) &&
+               addr + orderBytes(order + 1) <= end) {
+            ++order;
+        }
+        insertFree(addr, order);
+        addr += orderBytes(order);
+    }
+    ++_stats.counter("range_frees");
+}
+
+Addr
+BuddyAllocator::freeBytes() const
+{
+    Addr total = 0;
+    for (unsigned order = 0; order <= kMaxOrder; ++order)
+        total += freeLists[order].size() * orderBytes(order);
+    return total;
+}
+
+IntervalSet
+BuddyAllocator::freeIntervals() const
+{
+    IntervalSet set;
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        for (Addr block : freeLists[order])
+            set.insert(block, block + orderBytes(order));
+    }
+    return set;
+}
+
+Addr
+BuddyAllocator::largestFreeRun() const
+{
+    auto largest = freeIntervals().largest();
+    return largest ? largest->length() : 0;
+}
+
+double
+BuddyAllocator::fragmentationIndex() const
+{
+    const Addr free_total = freeBytes();
+    if (free_total == 0)
+        return 0.0;
+    const Addr run = largestFreeRun();
+    return 1.0 - static_cast<double>(run) /
+                 static_cast<double>(free_total);
+}
+
+} // namespace emv::mem

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fragmentation injection for experiments.
+ *
+ * §IV of the paper studies systems whose guest and/or host physical
+ * memory is too fragmented to create a direct segment (Table III).
+ * The Fragmenter produces such states deterministically by pinning a
+ * random scatter of blocks inside a BuddyAllocator, emulating the
+ * residue of a long-running mixed workload.
+ */
+
+#ifndef EMV_MEM_FRAGMENTER_HH
+#define EMV_MEM_FRAGMENTER_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/buddy_allocator.hh"
+
+namespace emv::mem {
+
+/** One pinned allocation created by the fragmenter. */
+struct PinnedBlock
+{
+    Addr base = 0;
+    unsigned order = 0;
+};
+
+/**
+ * Deterministically fragments a buddy allocator by allocating many
+ * small blocks and freeing a random subset, leaving pinned holes.
+ */
+class Fragmenter
+{
+  public:
+    explicit Fragmenter(std::uint64_t seed) : rng(seed) {}
+
+    /**
+     * Fragment @p buddy until its largest free run is at most
+     * @p max_run_bytes, by pinning scattered small blocks.
+     *
+     * @param pin_order Order of the pinned blocks (default 4 KB).
+     * @return The pinned blocks; pass to release() to undo.
+     */
+    std::vector<PinnedBlock> fragmentToRun(BuddyAllocator &buddy,
+                                           Addr max_run_bytes,
+                                           unsigned pin_order = 0);
+
+    /**
+     * Pin @p fraction of currently free memory in scattered blocks
+     * of @p pin_order.
+     */
+    std::vector<PinnedBlock> pinFraction(BuddyAllocator &buddy,
+                                         double fraction,
+                                         unsigned pin_order = 0);
+
+    /** Free all blocks in @p pins. */
+    static void release(BuddyAllocator &buddy,
+                        const std::vector<PinnedBlock> &pins);
+
+  private:
+    Rng rng;
+};
+
+} // namespace emv::mem
+
+#endif // EMV_MEM_FRAGMENTER_HH

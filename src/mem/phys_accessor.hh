@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Access to "my physical memory" for a kernel-level component.
+ *
+ * A native OS reads and writes host physical memory directly; a
+ * guest OS reaches its guest-physical memory through whatever the
+ * VMM mapped each gPA to.  PhysAccessor abstracts that difference so
+ * emv::os::GuestOs runs unmodified in both roles — the same way one
+ * Linux image runs bare-metal or under KVM.
+ */
+
+#ifndef EMV_MEM_PHYS_ACCESSOR_HH
+#define EMV_MEM_PHYS_ACCESSOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/phys_memory.hh"
+
+namespace emv::mem {
+
+/** Word access to an OS's own physical address space. */
+class PhysAccessor
+{
+  public:
+    virtual ~PhysAccessor() = default;
+
+    virtual std::uint64_t read64(Addr pa) const = 0;
+    virtual void write64(Addr pa, std::uint64_t value) = 0;
+
+    /** Zero a 4 KB frame (default: 512 word writes). */
+    virtual void
+    zeroFrame(Addr frame_base)
+    {
+        for (unsigned i = 0; i < 512; ++i)
+            write64(frame_base + 8ull * i, 0);
+    }
+
+    /** Copy a 4 KB frame (page migration). */
+    virtual void
+    copyFrame(Addr dst_base, Addr src_base)
+    {
+        for (unsigned i = 0; i < 512; ++i)
+            write64(dst_base + 8ull * i, read64(src_base + 8ull * i));
+    }
+
+    /** True if the underlying host frame has hard faults. */
+    virtual bool isBad(Addr pa) const = 0;
+
+    /** True if any 4 KB frame in [base, base+len) is faulty. */
+    virtual bool
+    anyBadInRange(Addr base, Addr len) const
+    {
+        for (Addr pa = base; pa < base + len; pa += kPage4K) {
+            if (isBad(pa))
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Identity accessor: the native case (PA == hPA). */
+class HostPhysAccessor : public PhysAccessor
+{
+  public:
+    explicit HostPhysAccessor(PhysMemory &mem) : mem(mem) {}
+
+    std::uint64_t
+    read64(Addr pa) const override
+    {
+        return mem.read64(pa);
+    }
+
+    void
+    write64(Addr pa, std::uint64_t value) override
+    {
+        mem.write64(pa, value);
+    }
+
+    void
+    zeroFrame(Addr frame_base) override
+    {
+        mem.zeroFrame(frame_base);
+    }
+
+    void
+    copyFrame(Addr dst_base, Addr src_base) override
+    {
+        mem.copyFrame(dst_base, src_base);
+    }
+
+    bool
+    isBad(Addr pa) const override
+    {
+        return mem.isBad(pa);
+    }
+
+    bool
+    anyBadInRange(Addr base, Addr len) const override
+    {
+        return mem.anyBadInRange(base, len);
+    }
+
+  private:
+    PhysMemory &mem;
+};
+
+} // namespace emv::mem
+
+#endif // EMV_MEM_PHYS_ACCESSOR_HH

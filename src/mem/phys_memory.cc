@@ -1,0 +1,151 @@
+#include "mem/phys_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace emv::mem {
+
+PhysMemory::PhysMemory(Addr size_bytes)
+    : sizeBytes(size_bytes)
+{
+    emv_assert(size_bytes > 0 && isAligned(size_bytes, kPage4K),
+               "physical memory size must be a positive multiple of 4K");
+}
+
+PhysMemory::Frame &
+PhysMemory::frameFor(Addr addr)
+{
+    emv_assert(addr < sizeBytes,
+               "physical access %s beyond memory size %s",
+               hexAddr(addr).c_str(), hexAddr(sizeBytes).c_str());
+    const std::uint64_t frame_no = addr >> 12;
+    auto &slot = frames[frame_no];
+    if (!slot)
+        slot = std::make_unique<Frame>();
+    return *slot;
+}
+
+const PhysMemory::Frame *
+PhysMemory::frameForConst(Addr addr) const
+{
+    emv_assert(addr < sizeBytes,
+               "physical access %s beyond memory size %s",
+               hexAddr(addr).c_str(), hexAddr(sizeBytes).c_str());
+    auto it = frames.find(addr >> 12);
+    return it == frames.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+PhysMemory::read64(Addr addr) const
+{
+    emv_assert(isAligned(addr, 8), "misaligned 64-bit read at %s",
+               hexAddr(addr).c_str());
+    ++_stats.counter("reads");
+    const Frame *frame = frameForConst(addr);
+    if (!frame)
+        return 0;  // Untouched memory reads as zero.
+    return (*frame)[(addr & (kPage4K - 1)) >> 3];
+}
+
+void
+PhysMemory::write64(Addr addr, std::uint64_t value)
+{
+    emv_assert(isAligned(addr, 8), "misaligned 64-bit write at %s",
+               hexAddr(addr).c_str());
+    ++_stats.counter("writes");
+    frameFor(addr)[(addr & (kPage4K - 1)) >> 3] = value;
+}
+
+void
+PhysMemory::zeroFrame(Addr frame_base)
+{
+    emv_assert(isAligned(frame_base, kPage4K),
+               "zeroFrame base %s not 4K aligned",
+               hexAddr(frame_base).c_str());
+    frameFor(frame_base).fill(0);
+}
+
+void
+PhysMemory::copyFrame(Addr dst_base, Addr src_base)
+{
+    emv_assert(isAligned(dst_base, kPage4K) &&
+               isAligned(src_base, kPage4K),
+               "copyFrame bases must be 4K aligned");
+    ++_stats.counter("frame_copies");
+    const Frame *src = frameForConst(src_base);
+    if (!src) {
+        zeroFrame(dst_base);
+        return;
+    }
+    frameFor(dst_base) = *src;
+}
+
+std::uint64_t
+PhysMemory::hashFrame(Addr frame_base) const
+{
+    emv_assert(isAligned(frame_base, kPage4K),
+               "hashFrame base %s not 4K aligned",
+               hexAddr(frame_base).c_str());
+    const Frame *frame = frameForConst(frame_base);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t prime = 0x100000001b3ull;
+    if (!frame) {
+        // All-zero frame: hash 512 zero words.
+        for (int i = 0; i < 512; ++i)
+            hash = (hash ^ 0) * prime;
+        return hash;
+    }
+    for (std::uint64_t word : *frame)
+        hash = (hash ^ word) * prime;
+    return hash;
+}
+
+void
+PhysMemory::markBad(Addr addr)
+{
+    emv_assert(addr < sizeBytes, "bad-frame mark beyond memory");
+    badFrames.insert(addr >> 12);
+}
+
+void
+PhysMemory::clearBad(Addr addr)
+{
+    badFrames.erase(addr >> 12);
+}
+
+bool
+PhysMemory::isBad(Addr addr) const
+{
+    return badFrames.count(addr >> 12) != 0;
+}
+
+std::vector<Addr>
+PhysMemory::badFramesInRange(Addr base, Addr len) const
+{
+    std::vector<Addr> out;
+    const std::uint64_t lo = base >> 12;
+    const std::uint64_t hi = (base + len - 1) >> 12;
+    for (std::uint64_t frame : badFrames) {
+        if (frame >= lo && frame <= hi)
+            out.push_back(frame << 12);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+PhysMemory::anyBadInRange(Addr base, Addr len) const
+{
+    // The bad-frame set is tiny (a handful of hard faults); scan it
+    // rather than the range.
+    const std::uint64_t lo = base >> 12;
+    const std::uint64_t hi = (base + len - 1) >> 12;
+    for (std::uint64_t frame : badFrames) {
+        if (frame >= lo && frame <= hi)
+            return true;
+    }
+    return false;
+}
+
+} // namespace emv::mem

@@ -1,0 +1,57 @@
+#include "os/balloon.hh"
+
+#include "common/logging.hh"
+#include "os/guest_os.hh"
+
+namespace emv::os {
+
+BalloonDriver::BalloonDriver(GuestOs &os, BalloonBackend &backend)
+    : os(os), backend(backend)
+{
+}
+
+Addr
+BalloonDriver::inflate(Addr bytes)
+{
+    emv_assert(isAligned(bytes, kPage4K),
+               "balloon size must be 4K aligned");
+    std::vector<Addr> batch;
+    Addr got = 0;
+    while (got < bytes) {
+        // Like the virtio balloon, take whatever free 4K pages the
+        // allocator hands out — typically scattered when memory is
+        // fragmented.
+        auto page = os.buddy().allocate(0);
+        if (!page)
+            break;
+        os.markUnmovable(*page, kPage4K);  // Pinned, not swappable.
+        batch.push_back(*page);
+        got += kPage4K;
+    }
+    if (!batch.empty()) {
+        backend.reclaimGuestPages(batch);
+        pinned.insert(pinned.end(), batch.begin(), batch.end());
+        _inflatedBytes += got;
+    }
+    if (got < bytes) {
+        emv_warn("balloon inflate short: wanted %llu got %llu bytes",
+                 static_cast<unsigned long long>(bytes),
+                 static_cast<unsigned long long>(got));
+    }
+    return got;
+}
+
+std::optional<Interval>
+BalloonDriver::selfBalloon(Addr bytes)
+{
+    const Addr got = inflate(bytes);
+    if (got < bytes)
+        return std::nullopt;
+    auto base = backend.grantExtension(bytes);
+    if (!base)
+        return std::nullopt;
+    os.hotAdd(*base, bytes);
+    return Interval{*base, *base + bytes};
+}
+
+} // namespace emv::os

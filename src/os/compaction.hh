@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory-compaction daemon (§IV, "Memory compaction").
+ *
+ * Linux-style compaction [20]: pick a target window, migrate every
+ * movable allocated page out of it, and hand back one large free
+ * run — the slow path for creating direct segments on fragmented
+ * memory (Table III's "slowly converted ... with host memory
+ * compaction" rows describe the same mechanism on the host side,
+ * implemented by emv::vmm::Vmm::compactHost()).
+ */
+
+#ifndef EMV_OS_COMPACTION_HH
+#define EMV_OS_COMPACTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/intervals.hh"
+#include "common/types.hh"
+
+namespace emv::os {
+
+class GuestOs;
+class Process;
+
+/** Guest-side compaction daemon. */
+class CompactionDaemon
+{
+  public:
+    /**
+     * @param on_remap Invoked after a page migrates so the machine
+     *        layer can invalidate TLB entries for the moved VA.
+     */
+    using RemapHook =
+        std::function<void(Process &, Addr va, PageSize size)>;
+
+    explicit CompactionDaemon(GuestOs &os, RemapHook on_remap = {});
+
+    /**
+     * Migrate pages until a free run of @p bytes exists.
+     *
+     * @param bytes           Required contiguous free length.
+     * @param max_migrations  Work budget in pages (0 = unlimited);
+     *                        if the best window needs more, nothing
+     *                        is migrated and nullopt is returned.
+     * @return The free run on success.
+     */
+    std::optional<Interval> createFreeRun(Addr bytes,
+                                          std::uint64_t
+                                              max_migrations = 0);
+
+    /** Pages the cheapest viable window would need to migrate. */
+    std::optional<std::uint64_t> estimateMigrations(Addr bytes);
+
+    /** Pages migrated over this daemon's lifetime. */
+    std::uint64_t migratedPages() const { return migrated; }
+
+  private:
+    /** One candidate window and its cost. */
+    struct Window
+    {
+        Addr base = 0;
+        Addr allocatedBytes = 0;
+    };
+
+    std::optional<Window> bestWindow(Addr bytes) const;
+
+    GuestOs &os;
+    RemapHook onRemap;
+    std::uint64_t migrated = 0;
+};
+
+} // namespace emv::os
+
+#endif // EMV_OS_COMPACTION_HH

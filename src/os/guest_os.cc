@@ -1,0 +1,423 @@
+#include "os/guest_os.hh"
+
+#include "common/logging.hh"
+
+namespace emv::os {
+
+namespace {
+
+unsigned
+orderFor(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 0;
+      case PageSize::Size2M: return 9;
+      case PageSize::Size1G: return 18;
+    }
+    return 0;
+}
+
+} // namespace
+
+/**
+ * MemSpace backing per-process page tables: words go through the
+ * PhysAccessor (so guest PT bytes physically live wherever the VMM
+ * put them), table frames come from the OS buddy allocator.
+ */
+class GuestOs::OsMemSpace : public paging::MemSpace
+{
+  public:
+    explicit OsMemSpace(GuestOs &os) : os(os) {}
+
+    std::uint64_t
+    read64(Addr addr) const override
+    {
+        return os._phys.read64(addr);
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value) override
+    {
+        os._phys.write64(addr, value);
+    }
+
+    Addr
+    allocTableFrame() override
+    {
+        auto frame = os.allocKernelFrame();
+        if (!frame)
+            emv_fatal("out of physical memory for page tables");
+        os._phys.zeroFrame(*frame);
+        return *frame;
+    }
+
+    void
+    freeTableFrame(Addr frame) override
+    {
+        os.freeKernelFrame(frame);
+    }
+
+  private:
+    GuestOs &os;
+};
+
+GuestOs::GuestOs(mem::PhysAccessor &phys, Addr span,
+                 const std::vector<Interval> &ram, OsConfig config)
+    : _phys(phys), config(config), span(span)
+{
+    emv_assert(span > 0 && isAligned(span, kPage4K),
+               "OS physical span must be a positive 4K multiple");
+    _buddy = std::make_unique<mem::BuddyAllocator>(0, span);
+    // Nothing is RAM until declared: reserve the whole span, then
+    // hot-add the boot RAM ranges.
+    const bool reserved = _buddy->allocateRange(0, span);
+    emv_assert(reserved, "fresh buddy must allow full reservation");
+    for (const auto &range : ram)
+        hotAdd(range.start, range.length());
+    space = std::make_unique<OsMemSpace>(*this);
+}
+
+GuestOs::~GuestOs()
+{
+    // Page tables free frames through the mem space; drop processes
+    // before the space and buddy go away.
+    processes.clear();
+}
+
+Process &
+GuestOs::createProcess()
+{
+    processes.push_back(
+        std::make_unique<Process>(nextPid++, *space));
+    return *processes.back();
+}
+
+paging::MemSpace &
+GuestOs::memSpace()
+{
+    return *space;
+}
+
+std::vector<Process *>
+GuestOs::liveProcesses()
+{
+    std::vector<Process *> out;
+    out.reserve(processes.size());
+    for (auto &proc : processes)
+        out.push_back(proc.get());
+    return out;
+}
+
+void
+GuestOs::hotAdd(Addr base, Addr bytes)
+{
+    emv_assert(base + bytes <= span,
+               "hot-add [%s, +%s) beyond the physical span",
+               hexAddr(base).c_str(), hexAddr(bytes).c_str());
+    emv_assert(!ramSet.containsRange(base, base + bytes) || bytes == 0,
+               "hot-add of already present RAM at %s",
+               hexAddr(base).c_str());
+    ramSet.insert(base, base + bytes);
+    _buddy->freeRange(base, bytes);
+    ++_stats.counter("hot_adds");
+    _stats.counter("hot_added_bytes") += bytes;
+}
+
+bool
+GuestOs::hotRemove(Addr base, Addr bytes)
+{
+    if (!ramSet.containsRange(base, base + bytes))
+        return false;
+    if (!_buddy->allocateRange(base, bytes))
+        return false;  // In use: hot-unplug needs free memory.
+    ramSet.erase(base, base + bytes);
+    ++_stats.counter("hot_removes");
+    _stats.counter("hot_removed_bytes") += bytes;
+    return true;
+}
+
+std::optional<Addr>
+GuestOs::allocDataBlock(PageSize size)
+{
+    const unsigned order = orderFor(size);
+    for (;;) {
+        auto block = _buddy->allocate(order);
+        if (!block)
+            return std::nullopt;
+        if (!_phys.anyBadInRange(*block, pageBytes(size)))
+            return block;
+        // Commodity-OS behaviour: retire faulty frames to the
+        // bad-page list [26] and try again.  Healthy 4K siblings of
+        // a large block are returned to the allocator.
+        for (Addr pa = *block; pa < *block + pageBytes(size);
+             pa += kPage4K) {
+            if (_phys.isBad(pa)) {
+                badPages.push_back(pa);
+                markUnmovable(pa, kPage4K);
+                ++_stats.counter("bad_pages_retired");
+            } else {
+                _buddy->freeRange(pa, kPage4K);
+            }
+        }
+    }
+}
+
+void
+GuestOs::freeDataBlock(Addr base, PageSize size)
+{
+    _buddy->free(base, orderFor(size));
+}
+
+std::optional<Addr>
+GuestOs::allocKernelFrame()
+{
+    if (kernelFreeList.empty()) {
+        // Grow the pool by one chunk, preferentially placed at the
+        // configured kernel base so unmovable kernel memory stays
+        // clustered (and, under VMM Direct, inside the segment).
+        Addr chunk_bytes = config.kernelChunkBytes;
+        auto fit = _buddy->freeIntervals().findFitLowAbove(
+            chunk_bytes, kPage4K, config.kernelAllocBase);
+        if (fit && _buddy->allocateRange(fit->start, chunk_bytes)) {
+            markUnmovable(fit->start, chunk_bytes);
+            ++_stats.counter("kernel_chunks");
+            for (Addr off = 0; off < chunk_bytes; off += kPage4K) {
+                if (!_phys.isBad(fit->start + off))
+                    kernelFreeList.push_back(fit->start + off);
+            }
+        } else {
+            // Desperate path: single frames from the allocator.
+            auto frame = allocDataBlock(PageSize::Size4K);
+            if (!frame)
+                return std::nullopt;
+            markUnmovable(*frame, kPage4K);
+            kernelFreeList.push_back(*frame);
+        }
+    }
+    const Addr frame = kernelFreeList.back();
+    kernelFreeList.pop_back();
+    return frame;
+}
+
+void
+GuestOs::freeKernelFrame(Addr frame)
+{
+    // Pool chunks never shrink; recycle within the pool.
+    kernelFreeList.push_back(frame);
+}
+
+void
+GuestOs::defineRegion(Process &proc, std::string name, Addr va,
+                      Addr bytes, PageSize preferred, bool primary)
+{
+    Region region;
+    region.name = std::move(name);
+    region.base = va;
+    region.bytes = bytes;
+    region.primary = primary;
+    region.pageSize = preferred;
+    proc.addRegion(region);
+}
+
+bool
+GuestOs::mapPage(Process &proc, const Region &region, Addr va_page)
+{
+    auto &pt = proc.pageTable();
+    if (pt.translate(va_page))
+        return true;  // Raced / already mapped.
+
+    // Segment-backed pages: compute the physical address from the
+    // segment offset (§VI.B) unless the target frame is faulty.
+    const auto &seg = proc.guestSegment();
+    if (seg.contains(va_page)) {
+        const Addr pa = seg.translate(va_page);
+        if (!_phys.isBad(pa)) {
+            pt.map(va_page, pa, PageSize::Size4K);
+            ++_stats.counter("segment_offset_maps");
+            if (mappingHook) {
+                mappingHook(proc, va_page, kPage4K, PageSize::Size4K,
+                            true);
+            }
+            return true;
+        }
+        // Escape: remap the faulty page to a healthy frame.
+        auto healthy = allocDataBlock(PageSize::Size4K);
+        if (!healthy)
+            return false;
+        pt.map(va_page, *healthy, PageSize::Size4K);
+        ++_stats.counter("escape_remaps");
+        if (mappingHook) {
+            mappingHook(proc, va_page, kPage4K, PageSize::Size4K,
+                        true);
+        }
+        return true;
+    }
+
+    PageSize size = region.pageSize;
+    Addr base = alignDown(va_page, pageBytes(size));
+
+    // THP: opportunistically promote 4K regions to 2M mappings.
+    if (config.thp && size == PageSize::Size4K &&
+        thpRng.nextBool(config.thpCoverage)) {
+        const Addr base2m = alignDown(va_page, kPage2M);
+        if (base2m >= region.base &&
+            base2m + kPage2M <= region.end() &&
+            !pt.leafRangeOccupied(base2m, PageSize::Size2M)) {
+            if (auto frame = allocDataBlock(PageSize::Size2M)) {
+                pt.map(base2m, *frame, PageSize::Size2M);
+                ++_stats.counter("thp_promotions");
+                if (mappingHook) {
+                    mappingHook(proc, base2m, kPage2M,
+                                PageSize::Size2M, true);
+                }
+                return true;
+            }
+        }
+    }
+
+    // Fall back to smaller sizes when large blocks are unavailable
+    // or the region edge does not fit one.
+    while (true) {
+        base = alignDown(va_page, pageBytes(size));
+        const bool fits = base >= region.base &&
+                          base + pageBytes(size) <= region.end();
+        if (fits) {
+            if (auto frame = allocDataBlock(size)) {
+                proc.pageTable().map(base, *frame, size);
+                ++_stats.counter("pages_mapped");
+                if (mappingHook) {
+                    mappingHook(proc, base, pageBytes(size), size,
+                                true);
+                }
+                return true;
+            }
+        }
+        if (size == PageSize::Size4K)
+            return false;
+        size = size == PageSize::Size1G ? PageSize::Size2M
+                                        : PageSize::Size4K;
+        ++_stats.counter("size_fallbacks");
+    }
+}
+
+FaultOutcome
+GuestOs::handleFault(Process &proc, Addr gva)
+{
+    FaultOutcome outcome;
+    const Region *region = proc.findRegion(gva);
+    if (!region) {
+        ++_stats.counter("segfaults");
+        return outcome;
+    }
+    ++_stats.counter("faults");
+    const Addr page = alignDown(gva, kPage4K);
+    const bool in_segment = proc.guestSegment().contains(page);
+    if (!mapPage(proc, *region, page))
+        return outcome;
+    auto mapping = proc.pageTable().translate(page);
+    emv_assert(mapping.has_value(), "fault handler failed to map");
+    outcome.ok = true;
+    outcome.mappedSize = mapping->size;
+    outcome.usedSegmentOffset = in_segment;
+    outcome.remappedBadPage =
+        in_segment &&
+        mapping->pa != proc.guestSegment().translate(page);
+    return outcome;
+}
+
+void
+GuestOs::populateRange(Process &proc, Addr va, Addr bytes)
+{
+    const Addr end = va + bytes;
+    Addr page = alignDown(va, kPage4K);
+    while (page < end) {
+        const Region *region = proc.findRegion(page);
+        emv_assert(region, "populate outside any region at %s",
+                   hexAddr(page).c_str());
+        if (!mapPage(proc, *region, page))
+            emv_fatal("out of memory populating %s",
+                      hexAddr(page).c_str());
+        auto mapping = proc.pageTable().translate(page);
+        page = alignDown(page, pageBytes(mapping->size)) +
+               pageBytes(mapping->size);
+    }
+}
+
+std::uint64_t
+GuestOs::unmapRange(Process &proc, Addr va, Addr bytes)
+{
+    auto &pt = proc.pageTable();
+    const auto &seg = proc.guestSegment();
+    const Addr end = va + bytes;
+    std::uint64_t unmapped = 0;
+    Addr page = alignDown(va, kPage4K);
+    while (page < end) {
+        auto mapping = pt.translate(page);
+        if (!mapping) {
+            page += kPage4K;
+            continue;
+        }
+        const Addr base = alignDown(page, pageBytes(mapping->size));
+        const Addr frame = mapping->pa & ~(pageBytes(mapping->size) - 1);
+        pt.unmap(base, mapping->size);
+        // Frames inside a segment reservation stay reserved; frames
+        // the escape path allocated (or ordinary data frames) are
+        // returned to the allocator.
+        const bool segment_backed =
+            seg.contains(base) && frame == seg.translate(base);
+        if (!segment_backed)
+            freeDataBlock(frame, mapping->size);
+        if (mappingHook) {
+            mappingHook(proc, base, pageBytes(mapping->size),
+                        mapping->size, false);
+        }
+        ++unmapped;
+        ++_stats.counter("pages_unmapped");
+        page = base + pageBytes(mapping->size);
+    }
+    return unmapped;
+}
+
+std::optional<segment::SegmentRegs>
+GuestOs::createGuestSegment(Process &proc)
+{
+    const Region *primary = proc.primaryRegion();
+    if (!primary) {
+        ++_stats.counter("segment_failures");
+        return std::nullopt;
+    }
+    // Take the highest fit: post-reclaim this is the hot-added /
+    // high memory that a VMM segment covers, and it keeps low
+    // kernel memory free (2M-aligned so Guest Direct can compose
+    // with 2M nested pages).
+    auto fit =
+        _buddy->freeIntervals().findFitHigh(primary->bytes, kPage2M);
+    if (!fit || !_buddy->allocateRange(fit->start, primary->bytes)) {
+        ++_stats.counter("segment_failures");
+        return std::nullopt;
+    }
+    auto regs = segment::SegmentRegs::fromRanges(
+        primary->base, primary->bytes, fit->start);
+    proc.setGuestSegment(regs);
+    // Segment backing cannot be migrated out from under the regs.
+    markUnmovable(fit->start, primary->bytes);
+    ++_stats.counter("segments_created");
+    return regs;
+}
+
+void
+GuestOs::releaseGuestSegment(Process &proc)
+{
+    const auto &seg = proc.guestSegment();
+    if (!seg.enabled())
+        return;
+    // Drop PTEs created by the §VI.B emulation path first so their
+    // frames are not double-freed.
+    unmapRange(proc, seg.base(), seg.length());
+    clearUnmovable(seg.base() + seg.offset(), seg.length());
+    _buddy->freeRange(seg.base() + seg.offset(), seg.length());
+    proc.clearGuestSegment();
+    ++_stats.counter("segments_released");
+}
+
+} // namespace emv::os

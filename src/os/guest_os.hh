@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The operating-system model.
+ *
+ * GuestOs manages one physical address space: a Linux-like buddy
+ * allocator over its RAM, demand paging into per-process x86-64
+ * page tables, primary-region tracking and guest-segment creation,
+ * hot-add/hot-remove of RAM ranges (the hotplug substrate used by
+ * self-ballooning and I/O-gap reclaim), and a commodity-OS bad-page
+ * list (§V).
+ *
+ * The same class serves as the native OS (PhysAccessor = host
+ * memory, RAM = host RAM) and as the guest OS inside a VM
+ * (PhysAccessor provided by the VMM, RAM = guest-physical layout
+ * with the x86-64 I/O gap carved out).
+ *
+ * Per the paper's own prototype strategy (§VI.B), direct segments
+ * are also *emulated* in the page tables: a fault on a
+ * segment-backed address computes its physical address from the
+ * segment offset and installs a conventional PTE.  This is what
+ * keeps escape-filter fallbacks (bad pages, false positives) and
+ * non-segment modes functionally correct.
+ */
+
+#ifndef EMV_OS_GUEST_OS_HH
+#define EMV_OS_GUEST_OS_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/intervals.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/phys_accessor.hh"
+#include "os/process.hh"
+#include "paging/page_table.hh"
+#include "segment/direct_segment.hh"
+
+namespace emv::os {
+
+/** OS-level policy knobs. */
+struct OsConfig
+{
+    /** Transparent huge pages: opportunistic 2M mappings for
+     *  regions whose preferred size is 4K. */
+    bool thp = false;
+
+    /** Fraction of 4K faults THP manages to promote (alignment and
+     *  availability permitting); models THP's imperfect coverage. */
+    double thpCoverage = 0.9;
+
+    /**
+     * Preferred placement for kernel (page-table) pool chunks.
+     * The machine layer sets this to the end of the I/O gap for
+     * virtualized builds so guest page tables land inside the VMM
+     * direct segment — the paper's "guest kernel module" change
+     * (§III.B).  Kernel chunks cluster here, keeping unmovable
+     * memory out of compaction's way.
+     */
+    Addr kernelAllocBase = 0;
+
+    /** Kernel pool growth granule. */
+    Addr kernelChunkBytes = 4 * MiB;
+};
+
+/** Outcome of a fault (for cost accounting). */
+struct FaultOutcome
+{
+    bool ok = false;
+    bool usedSegmentOffset = false;  //!< §VI.B emulation path.
+    bool remappedBadPage = false;    //!< Escaped a faulty frame.
+    PageSize mappedSize = PageSize::Size4K;
+};
+
+/** The OS. */
+class GuestOs
+{
+  public:
+    /**
+     * @param phys     Access to this OS's physical address space.
+     * @param span     Total physical address-space span [0, span).
+     * @param ram      Initially present RAM ranges within the span.
+     * @param config   Policy knobs.
+     */
+    GuestOs(mem::PhysAccessor &phys, Addr span,
+            const std::vector<Interval> &ram, OsConfig config = {});
+    ~GuestOs();
+
+    GuestOs(const GuestOs &) = delete;
+    GuestOs &operator=(const GuestOs &) = delete;
+
+    /** @{ Processes and regions. */
+    Process &createProcess();
+
+    void defineRegion(Process &proc, std::string name, Addr va,
+                      Addr bytes, PageSize preferred,
+                      bool primary = false);
+
+    /** Demand-page the address @p gva (guest page-fault handler). */
+    FaultOutcome handleFault(Process &proc, Addr gva);
+
+    /** Eagerly populate [va, va+bytes) of a defined region. */
+    void populateRange(Process &proc, Addr va, Addr bytes);
+
+    /**
+     * Unmap [va, va+bytes), freeing backing frames (except frames
+     * owned by a segment reservation, which stay reserved).
+     * @return Number of pages unmapped.
+     */
+    std::uint64_t unmapRange(Process &proc, Addr va, Addr bytes);
+    /** @} */
+
+    /**
+     * Create a guest segment backing the process's primary region
+     * with contiguous physical memory (best-fit in the buddy's free
+     * intervals).  Fails if fragmentation prevents a single run.
+     */
+    std::optional<segment::SegmentRegs>
+    createGuestSegment(Process &proc);
+
+    /** Release a process's guest-segment reservation. */
+    void releaseGuestSegment(Process &proc);
+
+    /** @{ Hotplug (memory-hotplug substrate [38]). */
+    /** Hot-add RAM (must lie in the span and not be present). */
+    void hotAdd(Addr base, Addr bytes);
+    /** Hot-remove RAM; fails unless the range is entirely free. */
+    bool hotRemove(Addr base, Addr bytes);
+    /** Present RAM ranges. */
+    const IntervalSet &ram() const { return ramSet; }
+    /** @} */
+
+    /** @{ Physical-memory services. */
+    mem::BuddyAllocator &buddy() { return *_buddy; }
+    mem::PhysAccessor &phys() { return _phys; }
+    paging::MemSpace &memSpace();
+
+    /** Allocate a data block, retiring faulty frames to the
+     *  bad-page list.  Returns nullopt when out of memory. */
+    std::optional<Addr> allocDataBlock(PageSize size);
+
+    /** Free a data block previously allocated. */
+    void freeDataBlock(Addr base, PageSize size);
+
+    /**
+     * Allocate one 4 KB kernel frame (page tables, driver state)
+     * from the pooled, unmovable kernel area.
+     */
+    std::optional<Addr> allocKernelFrame();
+
+    /** Return a kernel frame to the pool free list. */
+    void freeKernelFrame(Addr frame);
+
+    /** Frames retired due to hard faults. */
+    const std::vector<Addr> &badPageList() const { return badPages; }
+
+    /** @{ Movability (for compaction): page-table frames and pinned
+     *     balloon pages cannot be migrated. */
+    void markUnmovable(Addr base, Addr bytes)
+    { unmovableSet.insert(base, base + bytes); }
+    void clearUnmovable(Addr base, Addr bytes)
+    { unmovableSet.erase(base, base + bytes); }
+    const IntervalSet &unmovable() const { return unmovableSet; }
+    /** @} */
+
+    /** All live processes (compaction reverse maps, tests). */
+    std::vector<Process *> liveProcesses();
+    /** @} */
+
+    /**
+     * Observer of mapping changes: fired after a page is mapped
+     * (mapped=true) or unmapped (mapped=false).  The machine layer
+     * uses it for TLB invalidation and shadow-table coherence.
+     */
+    using MappingHook = std::function<void(
+        Process &, Addr va, Addr bytes, PageSize size, bool mapped)>;
+    void setMappingHook(MappingHook hook)
+    { mappingHook = std::move(hook); }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    class OsMemSpace;
+
+    /** Map one page of @p region at @p va_page; true on success. */
+    bool mapPage(Process &proc, const Region &region, Addr va_page);
+
+    mem::PhysAccessor &_phys;
+    OsConfig config;
+    Addr span;
+    IntervalSet ramSet;
+    std::unique_ptr<mem::BuddyAllocator> _buddy;
+    std::unique_ptr<OsMemSpace> space;
+    std::vector<std::unique_ptr<Process>> processes;
+    std::vector<Addr> badPages;
+    IntervalSet unmovableSet;
+    MappingHook mappingHook;
+    std::vector<Addr> kernelFreeList;
+    Rng thpRng{0x7709};
+    StatGroup _stats{"os"};
+    int nextPid = 1;
+};
+
+} // namespace emv::os
+
+#endif // EMV_OS_GUEST_OS_HH

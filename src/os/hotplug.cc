@@ -1,0 +1,49 @@
+#include "os/hotplug.hh"
+
+#include "common/logging.hh"
+#include "os/guest_os.hh"
+
+namespace emv::os {
+
+std::optional<IoGapReclaim>
+reclaimIoGap(GuestOs &os, BalloonBackend &backend, Addr io_gap_start,
+             Addr keep_bytes)
+{
+    emv_assert(isAligned(io_gap_start, kPage4K) &&
+               isAligned(keep_bytes, kPage4K),
+               "I/O gap parameters must be page aligned");
+    if (keep_bytes >= io_gap_start)
+        return std::nullopt;
+
+    // How much below-gap RAM is actually present?
+    Addr below = 0;
+    for (const auto &iv : os.ram().intervals()) {
+        if (iv.start >= io_gap_start)
+            continue;
+        const Addr end = std::min(iv.end, io_gap_start);
+        below += end - iv.start;
+    }
+    if (below <= keep_bytes)
+        return std::nullopt;
+
+    const Addr move = below - keep_bytes;
+    if (!os.hotRemove(keep_bytes, move)) {
+        emv_warn("I/O gap reclaim: below-gap memory busy");
+        return std::nullopt;
+    }
+    auto base = backend.grantExtension(move);
+    if (!base) {
+        // Roll back: put the memory back where it was.
+        os.hotAdd(keep_bytes, move);
+        return std::nullopt;
+    }
+    backend.reclaimGuestRange(keep_bytes, move);
+    os.hotAdd(*base, move);
+
+    IoGapReclaim out;
+    out.movedBytes = move;
+    out.extension = Interval{*base, *base + move};
+    return out;
+}
+
+} // namespace emv::os

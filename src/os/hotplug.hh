@@ -1,0 +1,52 @@
+/**
+ * @file
+ * I/O-gap reclamation via hot-unplug (§IV, §VI.C).
+ *
+ * x86-64 reserves roughly [3 GB, 4 GB) of the physical address space
+ * for memory-mapped I/O, splitting RAM-backed addresses into a
+ * below-gap and an above-gap piece and preventing one direct segment
+ * from covering (almost) all guest memory.  The fix: hot-unplug most
+ * memory *below* the gap (hot-unplug, unlike ballooning, removes
+ * specific addresses) and extend guest memory by the same amount at
+ * the top — leaving a small kernel reservation below the gap (the
+ * paper found 256 MB suffices to boot Linux).
+ */
+
+#ifndef EMV_OS_HOTPLUG_HH
+#define EMV_OS_HOTPLUG_HH
+
+#include <optional>
+
+#include "common/intervals.hh"
+#include "common/types.hh"
+#include "os/balloon.hh"
+
+namespace emv::os {
+
+class GuestOs;
+
+/** Result of an I/O-gap reclamation. */
+struct IoGapReclaim
+{
+    Addr movedBytes = 0;       //!< Unplugged below, added above.
+    Interval extension{};      //!< New top-of-memory range.
+};
+
+/**
+ * Relocate memory below the I/O gap to the top of guest-physical
+ * memory.  Must run at "boot", while below-gap memory is still free.
+ *
+ * @param os           The guest OS.
+ * @param backend      VMM hotplug backend (slot extension).
+ * @param io_gap_start Start of the I/O gap (typically 3 GB).
+ * @param keep_bytes   Low memory to keep for the kernel (256 MB).
+ * @return Details on success; nullopt if the memory was in use or
+ *         the VMM could not extend.
+ */
+std::optional<IoGapReclaim>
+reclaimIoGap(GuestOs &os, BalloonBackend &backend, Addr io_gap_start,
+             Addr keep_bytes);
+
+} // namespace emv::os
+
+#endif // EMV_OS_HOTPLUG_HH

@@ -1,0 +1,78 @@
+#include "paging/nested_walker.hh"
+
+#include <algorithm>
+
+#include "mem/phys_memory.hh"
+#include "paging/pte.hh"
+
+namespace emv::paging {
+
+NestedWalker::NestedWalker(const mem::PhysMemory &host_mem)
+    : hostMem(host_mem)
+{
+}
+
+WalkOutcome
+NestedWalker::walk(Addr guest_root_gpa, Addr gva,
+                   GpaTranslator &nested, WalkTrace &trace,
+                   tlb::WalkCache *guest_cache) const
+{
+    Addr table_gpa = guest_root_gpa;
+    int start_level = kLevels;
+
+    // Guest-side paging-structure cache: skipping a guest level also
+    // skips the nested translation of that level's entry pointer,
+    // which is where most of the 2D blow-up lives.
+    if (guest_cache) {
+        for (int level = 2; level <= kLevels; ++level) {
+            auto hit =
+                guest_cache->lookup(tlb::WalkCache::key(level, gva));
+            if (hit) {
+                table_gpa = *hit;
+                start_level = level - 1;
+                break;
+            }
+        }
+    }
+
+    for (int level = start_level; level >= 1; --level) {
+        // Second dimension: locate the guest entry in host memory.
+        const Addr entry_gpa =
+            table_gpa + 8ull * tableIndex(gva, level);
+        const WalkOutcome entry_host = nested.toHost(entry_gpa, trace);
+        if (!entry_host.ok)
+            return WalkOutcome{0, PageSize::Size4K, false};
+
+        // First dimension: read the guest entry itself.
+        trace.addRef(entry_host.pa, RefStage::GuestTable, level);
+        Pte pte{hostMem.read64(entry_host.pa)};
+        if (!pte.present())
+            return WalkOutcome{0, PageSize::Size4K, false};
+
+        const bool leaf = level == 1 || pte.pageSize();
+        if (leaf) {
+            const PageSize guest_size = leafSize(level);
+            const Addr data_gpa =
+                pte.frame() + (gva & (pageBytes(guest_size) - 1));
+            // Final nested translation of the data gPA.
+            const WalkOutcome data_host = nested.toHost(data_gpa, trace);
+            if (!data_host.ok)
+                return WalkOutcome{0, PageSize::Size4K, false};
+            WalkOutcome out;
+            out.pa = data_host.pa;
+            // A single TLB entry can only cover the intersection of
+            // the two granules.
+            out.size = std::min(guest_size, data_host.size);
+            out.ok = true;
+            return out;
+        }
+        if (guest_cache && level >= 2) {
+            guest_cache->insert(tlb::WalkCache::key(level, gva),
+                                pte.frame());
+        }
+        table_gpa = pte.frame();
+    }
+    return WalkOutcome{0, PageSize::Size4K, false};
+}
+
+} // namespace emv::paging

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Two-dimensional nested page-table walker (Fig. 2).
+ *
+ * The guest page table's nodes are addressed by gPA, so every step
+ * of the guest walk needs its own gPA→hPA translation before the
+ * guest entry can be read.  On x86-64 that multiplies a 4-reference
+ * native walk into up to 5*4 + 4 = 24 references.
+ *
+ * *How* a gPA becomes an hPA is exactly what the paper's modes vary
+ * (nested walk, nested-TLB hit, VMM direct segment, escape filter),
+ * so the walker delegates it to a GpaTranslator supplied by the MMU.
+ */
+
+#ifndef EMV_PAGING_NESTED_WALKER_HH
+#define EMV_PAGING_NESTED_WALKER_HH
+
+#include "common/types.hh"
+#include "paging/walk.hh"
+#include "tlb/walk_cache.hh"
+
+namespace emv::mem { class PhysMemory; }
+
+namespace emv::paging {
+
+/**
+ * Strategy for the second dimension (gPA→hPA) of a nested walk.
+ * Implementations record their own references/calculations in the
+ * supplied trace.
+ */
+class GpaTranslator
+{
+  public:
+    virtual ~GpaTranslator() = default;
+
+    /** Translate @p gpa to host physical. ok=false means nested fault. */
+    virtual WalkOutcome toHost(Addr gpa, WalkTrace &trace) = 0;
+};
+
+/**
+ * The 2D walker: guest dimension here, nested dimension via the
+ * GpaTranslator.
+ */
+class NestedWalker
+{
+  public:
+    explicit NestedWalker(const mem::PhysMemory &host_mem);
+
+    /**
+     * Perform the full 2D walk of @p gva.
+     *
+     * @param guest_root_gpa Guest-physical base of the guest PML4.
+     * @param gva            Guest virtual address to translate.
+     * @param nested         Second-dimension translation strategy.
+     * @param trace          Trace accumulating both dimensions.
+     * @param guest_cache    Optional guest paging-structure cache.
+     * @return Final hPA; size is the min of the guest and nested
+     *         leaf granules (what a real TLB entry could cover).
+     */
+    WalkOutcome walk(Addr guest_root_gpa, Addr gva,
+                     GpaTranslator &nested, WalkTrace &trace,
+                     tlb::WalkCache *guest_cache = nullptr) const;
+
+  private:
+    const mem::PhysMemory &hostMem;
+};
+
+} // namespace emv::paging
+
+#endif // EMV_PAGING_NESTED_WALKER_HH

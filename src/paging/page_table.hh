@@ -1,0 +1,155 @@
+/**
+ * @file
+ * x86-64 four-level page-table builder.
+ *
+ * A PageTable is a real radix tree of encoded 64-bit entries stored
+ * through a MemSpace.  The MemSpace abstraction captures *whose*
+ * memory the table nodes live in:
+ *
+ *  - the nested page table's nodes live directly in host physical
+ *    memory (the VMM runs natively);
+ *  - the guest page table's nodes live in *guest physical* memory,
+ *    whose bytes physically reside wherever the VMM mapped each gPA
+ *    — so guest-table reads/writes are themselves translated, which
+ *    is precisely what makes the 2D walk two-dimensional.
+ */
+
+#ifndef EMV_PAGING_PAGE_TABLE_HH
+#define EMV_PAGING_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "paging/pte.hh"
+
+namespace emv::paging {
+
+/**
+ * Address space in which a page table's nodes are allocated and
+ * accessed.  Implementations: identity over host memory, or a
+ * guest-physical view that routes through the VMM's mapping.
+ */
+class MemSpace
+{
+  public:
+    virtual ~MemSpace() = default;
+
+    /** Load a 64-bit word at an address in this space. */
+    virtual std::uint64_t read64(Addr addr) const = 0;
+
+    /** Store a 64-bit word at an address in this space. */
+    virtual void write64(Addr addr, std::uint64_t value) = 0;
+
+    /** Allocate and zero a 4 KB frame for a table node. */
+    virtual Addr allocTableFrame() = 0;
+
+    /** Release a table-node frame. */
+    virtual void freeTableFrame(Addr frame) = 0;
+};
+
+/** Result of a software (non-simulated) translation. */
+struct SoftTranslation
+{
+    Addr pa = 0;            //!< Full translated address.
+    PageSize size = PageSize::Size4K;
+    bool writable = false;
+};
+
+/**
+ * Four-level x86-64 page table.
+ *
+ * map()/unmap() maintain the radix tree; translate() is a software
+ * walk used for correctness checks and by the shadow pager.  The
+ * simulated, cycle-accounted walks live in walker.hh.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(MemSpace &space);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Map the page of @p size containing @p va to the frame at
+     * @p pa.  Both must be size-aligned.  Panics on conflicting
+     * existing mappings (callers unmap first).
+     */
+    void map(Addr va, Addr pa, PageSize size, bool writable = true,
+             bool user_mode = true);
+
+    /**
+     * Remove the mapping of the page of @p size at @p va.
+     * @return true if a mapping was removed.
+     */
+    bool unmap(Addr va, PageSize size);
+
+    /** Software walk; nullopt if not mapped. */
+    std::optional<SoftTranslation> translate(Addr va) const;
+
+    /** One leaf mapping, as visited by forEachLeaf(). */
+    struct Leaf
+    {
+        Addr va = 0;
+        Addr pa = 0;       //!< Frame base.
+        PageSize size = PageSize::Size4K;
+        bool writable = false;
+    };
+
+    /**
+     * Visit every leaf mapping in ascending VA order (reverse-map
+     * construction for compaction and the shadow pager).
+     */
+    void forEachLeaf(const std::function<void(const Leaf &)> &fn) const;
+
+    /** True if @p va has any mapping. */
+    bool isMapped(Addr va) const { return translate(va).has_value(); }
+
+    /**
+     * True if mapping a page of @p size at @p va would conflict:
+     * either a covering leaf exists above/at that level, or any
+     * smaller mappings exist below it.  O(levels), not O(pages).
+     */
+    bool leafRangeOccupied(Addr va, PageSize size) const;
+
+    /** Root node address (in this table's MemSpace). */
+    Addr root() const { return rootFrame; }
+
+    /** Number of live leaf mappings. */
+    std::uint64_t mappedLeaves() const { return leaves; }
+
+    /** Number of table nodes (including the root). */
+    std::uint64_t tableNodes() const { return nodes; }
+
+    /** Monotonic count of map/unmap operations (PT update events). */
+    std::uint64_t updateCount() const { return updates; }
+
+    /** Bytes of memory consumed by table nodes. */
+    Addr tableBytes() const { return nodes * kPage4K; }
+
+  private:
+    /** Recursively free an entire subtree. */
+    void freeSubtree(Addr table, int level);
+
+    /** Recursive helper for forEachLeaf(). */
+    void visitLeaves(Addr table, int level, Addr va_prefix,
+                     const std::function<void(const Leaf &)> &fn) const;
+
+    /** True if the node holds no present entries. */
+    bool nodeEmpty(Addr table) const;
+
+    MemSpace &space;
+    Addr rootFrame;
+    std::uint64_t leaves = 0;
+    std::uint64_t nodes = 0;
+    std::uint64_t updates = 0;
+};
+
+} // namespace emv::paging
+
+#endif // EMV_PAGING_PAGE_TABLE_HH

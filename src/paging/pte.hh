@@ -1,0 +1,103 @@
+/**
+ * @file
+ * x86-64 page-table entry encodings and radix-tree geometry.
+ *
+ * Both dimensions of translation in the paper use the same 4-level
+ * x86-64 long-mode format (each address space can be 2^48 bytes), so
+ * one encoding serves the guest page table (gVA→gPA) and the nested
+ * page table (gPA→hPA).
+ */
+
+#ifndef EMV_PAGING_PTE_HH
+#define EMV_PAGING_PTE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace emv::paging {
+
+/** Number of radix levels in x86-64 long mode. */
+constexpr int kLevels = 4;
+
+/** Entries per table node (512 = 9 index bits). */
+constexpr int kEntriesPerTable = 512;
+
+/** PTE flag bits (subset of the architectural definition). */
+enum PteBits : std::uint64_t {
+    kPtePresent  = 1ull << 0,
+    kPteWritable = 1ull << 1,
+    kPteUser     = 1ull << 2,
+    kPteAccessed = 1ull << 5,
+    kPteDirty    = 1ull << 6,
+    kPtePageSize = 1ull << 7,   //!< Leaf at PDPT (1G) or PD (2M).
+    kPteNx       = 1ull << 63,
+};
+
+/** Mask of the physical-frame field (bits 12..51). */
+constexpr std::uint64_t kPteFrameMask = 0x000ffffffffff000ull;
+
+/**
+ * Index into the table at @p level for virtual address @p va.
+ * Level 4 = PML4 (bits 47..39) ... level 1 = PT (bits 20..12).
+ */
+constexpr unsigned
+tableIndex(Addr va, int level)
+{
+    return (va >> (12 + 9 * (level - 1))) & 0x1ff;
+}
+
+/** Page size mapped by a leaf at @p level (1=4K, 2=2M, 3=1G). */
+constexpr PageSize
+leafSize(int level)
+{
+    return level == 3 ? PageSize::Size1G
+         : level == 2 ? PageSize::Size2M
+                      : PageSize::Size4K;
+}
+
+/** Level at which a leaf of @p size lives. */
+constexpr int
+leafLevel(PageSize size)
+{
+    return size == PageSize::Size1G ? 3
+         : size == PageSize::Size2M ? 2
+                                    : 1;
+}
+
+/** Decoded view of a 64-bit entry. */
+struct Pte
+{
+    std::uint64_t raw = 0;
+
+    bool present() const { return raw & kPtePresent; }
+    bool writable() const { return raw & kPteWritable; }
+    bool user() const { return raw & kPteUser; }
+    bool pageSize() const { return raw & kPtePageSize; }
+    bool nx() const { return raw & kPteNx; }
+    Addr frame() const { return raw & kPteFrameMask; }
+
+    static std::uint64_t
+    makeTable(Addr next_table)
+    {
+        return (next_table & kPteFrameMask) | kPtePresent |
+               kPteWritable | kPteUser;
+    }
+
+    static std::uint64_t
+    makeLeaf(Addr frame, int level, bool writable, bool user_mode)
+    {
+        std::uint64_t raw = (frame & kPteFrameMask) | kPtePresent;
+        if (writable)
+            raw |= kPteWritable;
+        if (user_mode)
+            raw |= kPteUser;
+        if (level > 1)
+            raw |= kPtePageSize;
+        return raw;
+    }
+};
+
+} // namespace emv::paging
+
+#endif // EMV_PAGING_PTE_HH

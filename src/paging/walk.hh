@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Walk traces: the raw material of the paper's cost analysis.
+ *
+ * Every simulated page walk produces a WalkTrace listing each memory
+ * reference (tagged with which dimension and level issued it) and
+ * each base-bound calculation.  Fig. 2's "24 references" and Table
+ * I/II's "4 accesses + 5 calculations" drop straight out of these
+ * traces; the cost model then prices them.
+ */
+
+#ifndef EMV_PAGING_WALK_HH
+#define EMV_PAGING_WALK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emv::paging {
+
+/** Which table a walk reference read. */
+enum class RefStage : std::uint8_t {
+    GuestTable,   //!< gVA→gPA guest page-table entry (read via hPA).
+    NestedTable,  //!< gPA→hPA nested page-table entry.
+    NativeTable,  //!< Native (unvirtualized) page-table entry.
+    ShadowTable,  //!< Shadow (gVA→hPA) page-table entry.
+};
+
+/** One memory reference made by the page-walk hardware. */
+struct WalkRef
+{
+    Addr hpa = 0;        //!< Host physical address actually read.
+    RefStage stage = RefStage::NativeTable;
+    std::int8_t level = 0;  //!< Radix level (4..1) of the entry.
+};
+
+/** Full record of one translation's walk activity. */
+struct WalkTrace
+{
+    std::vector<WalkRef> refs;
+    unsigned calculations = 0;  //!< Base-bound checks / segment adds.
+
+    void
+    addRef(Addr hpa, RefStage stage, int level)
+    {
+        refs.push_back(WalkRef{hpa, stage,
+                               static_cast<std::int8_t>(level)});
+    }
+
+    std::size_t
+    countStage(RefStage stage) const
+    {
+        std::size_t n = 0;
+        for (const auto &ref : refs)
+            n += ref.stage == stage ? 1 : 0;
+        return n;
+    }
+
+    void
+    clear()
+    {
+        refs.clear();
+        calculations = 0;
+    }
+};
+
+/** Result of a simulated walk. */
+struct WalkOutcome
+{
+    Addr pa = 0;                       //!< Translated address.
+    PageSize size = PageSize::Size4K;  //!< Granule of the mapping.
+    bool ok = false;                   //!< False on a page fault.
+};
+
+} // namespace emv::paging
+
+#endif // EMV_PAGING_WALK_HH

@@ -1,0 +1,56 @@
+#include "paging/walker.hh"
+
+#include "mem/phys_memory.hh"
+#include "paging/pte.hh"
+
+namespace emv::paging {
+
+using tlb::WalkCache;
+
+Walker::Walker(const mem::PhysMemory &host_mem)
+    : hostMem(host_mem)
+{
+}
+
+WalkOutcome
+Walker::walk(Addr root, Addr va, RefStage stage, WalkTrace &trace,
+             tlb::WalkCache *cache) const
+{
+    Addr table = root;
+    int start_level = kLevels;
+
+    // Paging-structure cache: start at the deepest cached level.
+    if (cache) {
+        for (int level = 2; level <= kLevels; ++level) {
+            if (auto hit = cache->lookup(WalkCache::key(level, va))) {
+                table = *hit;
+                start_level = level - 1;
+                break;
+            }
+        }
+    }
+
+    for (int level = start_level; level >= 1; --level) {
+        const Addr entry_addr = table + 8ull * tableIndex(va, level);
+        trace.addRef(entry_addr, stage, level);
+        Pte pte{hostMem.read64(entry_addr)};
+        if (!pte.present())
+            return WalkOutcome{0, PageSize::Size4K, false};
+
+        const bool leaf = level == 1 || pte.pageSize();
+        if (leaf) {
+            const PageSize size = leafSize(level);
+            WalkOutcome out;
+            out.size = size;
+            out.pa = pte.frame() + (va & (pageBytes(size) - 1));
+            out.ok = true;
+            return out;
+        }
+        if (cache && level >= 2)
+            cache->insert(WalkCache::key(level, va), pte.frame());
+        table = pte.frame();
+    }
+    return WalkOutcome{0, PageSize::Size4K, false};
+}
+
+} // namespace emv::paging

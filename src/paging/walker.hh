@@ -1,0 +1,48 @@
+/**
+ * @file
+ * One-dimensional page-table walker.
+ *
+ * Walks a 4-level table whose nodes live directly in host physical
+ * memory: the native walk, the shadow-table walk, and the nested
+ * (gPA→hPA) dimension of a 2D walk all use this engine.  Every
+ * entry read is recorded in the WalkTrace; an optional WalkCache
+ * lets the walk start below the root (paging-structure caching).
+ */
+
+#ifndef EMV_PAGING_WALKER_HH
+#define EMV_PAGING_WALKER_HH
+
+#include "common/types.hh"
+#include "paging/walk.hh"
+#include "tlb/walk_cache.hh"
+
+namespace emv::mem { class PhysMemory; }
+
+namespace emv::paging {
+
+/** Walker over tables resident in host physical memory. */
+class Walker
+{
+  public:
+    explicit Walker(const mem::PhysMemory &host_mem);
+
+    /**
+     * Walk the table rooted at @p root for address @p va.
+     *
+     * @param root  Host-physical base of the level-4 table.
+     * @param va    Address to translate (gVA, gPA or native VA).
+     * @param stage Tag recorded on every reference.
+     * @param trace Trace to append references to.
+     * @param cache Optional paging-structure cache.
+     */
+    WalkOutcome walk(Addr root, Addr va, RefStage stage,
+                     WalkTrace &trace,
+                     tlb::WalkCache *cache = nullptr) const;
+
+  private:
+    const mem::PhysMemory &hostMem;
+};
+
+} // namespace emv::paging
+
+#endif // EMV_PAGING_WALKER_HH

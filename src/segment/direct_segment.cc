@@ -1,0 +1,17 @@
+#include "segment/direct_segment.hh"
+
+#include "common/logging.hh"
+
+namespace emv::segment {
+
+std::string
+SegmentRegs::toString() const
+{
+    if (!enabled())
+        return "[disabled]";
+    return detail::format("[%s, %s) +%s", hexAddr(_base).c_str(),
+                          hexAddr(_limit).c_str(),
+                          hexAddr(_offset).c_str());
+}
+
+} // namespace emv::segment

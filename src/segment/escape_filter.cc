@@ -1,0 +1,87 @@
+#include "segment/escape_filter.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace emv::segment {
+
+namespace {
+
+unsigned
+log2Bits(unsigned bits)
+{
+    unsigned out = 0;
+    while ((1u << out) < bits)
+        ++out;
+    return out;
+}
+
+} // namespace
+
+EscapeFilter::EscapeFilter(unsigned bits, unsigned num_hashes,
+                           std::uint64_t seed)
+    : bits(bits), hashes(num_hashes, log2Bits(bits), seed),
+      words((bits + 63) / 64, 0)
+{
+    emv_assert(bits >= 64 && (bits & (bits - 1)) == 0,
+               "escape filter size must be a power of two >= 64");
+    emv_assert(num_hashes >= 1, "escape filter needs >= 1 hash");
+}
+
+void
+EscapeFilter::insertPage(Addr addr)
+{
+    const std::uint64_t page = addr >> 12;
+    for (unsigned h = 0; h < hashes.size(); ++h) {
+        const unsigned bit = hashes.hash(h, page) & (bits - 1);
+        words[bit >> 6] |= 1ull << (bit & 63);
+    }
+    ++inserted;
+    ++_stats.counter("inserts");
+}
+
+bool
+EscapeFilter::mayContain(Addr addr) const
+{
+    if (inserted == 0)
+        return false;
+    const std::uint64_t page = addr >> 12;
+    for (unsigned h = 0; h < hashes.size(); ++h) {
+        const unsigned bit = hashes.hash(h, page) & (bits - 1);
+        if (!(words[bit >> 6] & (1ull << (bit & 63))))
+            return false;
+    }
+    ++_stats.counter("positives");
+    return true;
+}
+
+void
+EscapeFilter::clear()
+{
+    for (auto &word : words)
+        word = 0;
+    inserted = 0;
+}
+
+unsigned
+EscapeFilter::popcount() const
+{
+    unsigned total = 0;
+    for (auto word : words)
+        total += static_cast<unsigned>(std::popcount(word));
+    return total;
+}
+
+double
+EscapeFilter::expectedFalsePositiveRate() const
+{
+    const double k = static_cast<double>(hashes.size());
+    const double n = static_cast<double>(inserted);
+    const double m = static_cast<double>(bits);
+    const double fill = 1.0 - std::exp(-k * n / m);
+    return std::pow(fill, k);
+}
+
+} // namespace emv::segment

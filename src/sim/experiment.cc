@@ -1,0 +1,178 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace emv::sim {
+
+using core::Mode;
+
+std::optional<ConfigSpec>
+specFromLabel(const std::string &label)
+{
+    auto parse_size = [](const std::string &s,
+                         PageSize &out) -> bool {
+        if (s == "4K") {
+            out = PageSize::Size4K;
+            return true;
+        }
+        if (s == "2M") {
+            out = PageSize::Size2M;
+            return true;
+        }
+        if (s == "1G") {
+            out = PageSize::Size1G;
+            return true;
+        }
+        return false;
+    };
+
+    ConfigSpec spec;
+    spec.label = label;
+
+    if (label == "DS") {
+        spec.mode = Mode::NativeDirect;
+        return spec;
+    }
+    if (label == "DD") {
+        spec.mode = Mode::DualDirect;
+        return spec;
+    }
+    if (label == "THP") {
+        spec.mode = Mode::Native;
+        spec.thp = true;
+        return spec;
+    }
+    if (label == "sh4K" || label == "sh2M") {
+        spec.mode = Mode::BaseVirtualized;
+        spec.shadow = true;
+        if (label == "sh2M") {
+            spec.guestPageSize = PageSize::Size2M;
+            spec.vmmPageSize = PageSize::Size2M;
+        }
+        return spec;
+    }
+
+    const auto plus = label.find('+');
+    if (plus == std::string::npos) {
+        // Native page size.
+        if (!parse_size(label, spec.guestPageSize))
+            return std::nullopt;
+        spec.mode = Mode::Native;
+        return spec;
+    }
+
+    const std::string left = label.substr(0, plus);
+    const std::string right = label.substr(plus + 1);
+    if (left == "THP")
+        spec.thp = true;
+    else if (!parse_size(left, spec.guestPageSize))
+        return std::nullopt;
+
+    if (right == "VD") {
+        spec.mode = Mode::VmmDirect;
+        return spec;
+    }
+    if (right == "GD") {
+        spec.mode = Mode::GuestDirect;
+        return spec;
+    }
+    if (!parse_size(right, spec.vmmPageSize))
+        return std::nullopt;
+    spec.mode = Mode::BaseVirtualized;
+    return spec;
+}
+
+namespace {
+
+std::vector<ConfigSpec>
+fromLabels(const std::vector<std::string> &labels)
+{
+    std::vector<ConfigSpec> out;
+    for (const auto &label : labels) {
+        auto spec = specFromLabel(label);
+        emv_assert(spec.has_value(), "bad config label '%s'",
+                   label.c_str());
+        out.push_back(*spec);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<ConfigSpec>
+figure11Configs()
+{
+    return fromLabels({"4K", "2M", "1G", "4K+4K", "4K+2M", "4K+1G",
+                       "2M+2M", "2M+1G", "1G+1G", "DS", "DD",
+                       "4K+VD", "4K+GD"});
+}
+
+std::vector<ConfigSpec>
+figure12Configs()
+{
+    return fromLabels({"4K", "THP", "4K+4K", "4K+2M", "THP+2M",
+                       "4K+VD", "THP+VD"});
+}
+
+std::vector<ConfigSpec>
+figure1Configs()
+{
+    return fromLabels(
+        {"4K", "4K+4K", "4K+2M", "4K+1G", "DD", "4K+VD"});
+}
+
+void
+RunParams::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "scale=", 6) == 0)
+            scale = std::atof(arg + 6);
+        else if (std::strncmp(arg, "ops=", 4) == 0)
+            measureOps = std::strtoull(arg + 4, nullptr, 10);
+        else if (std::strncmp(arg, "warmup=", 7) == 0)
+            warmupOps = std::strtoull(arg + 7, nullptr, 10);
+        else if (std::strncmp(arg, "seed=", 5) == 0)
+            seed = std::strtoull(arg + 5, nullptr, 10);
+        else
+            emv_warn("ignoring unknown argument '%s'", arg);
+    }
+    emv_assert(scale > 0.0, "scale must be positive");
+}
+
+MachineConfig
+makeMachineConfig(const ConfigSpec &spec, const RunParams &params)
+{
+    MachineConfig cfg;
+    cfg.mode = spec.mode;
+    cfg.guestPageSize = spec.guestPageSize;
+    cfg.vmmPageSize = spec.vmmPageSize;
+    cfg.thp = spec.thp;
+    cfg.shadowPaging = spec.shadow;
+    cfg.seed = params.seed;
+    cfg.badFrames = params.badFrames;
+    cfg.badFrameSeed = params.badFrameSeed;
+    return cfg;
+}
+
+CellResult
+runCell(workload::WorkloadKind kind, const ConfigSpec &spec,
+        const RunParams &params)
+{
+    auto wl = workload::makeWorkload(kind, params.seed, params.scale);
+    const MachineConfig cfg = makeMachineConfig(spec, params);
+    Machine machine(cfg, *wl);
+    machine.run(params.warmupOps);
+    machine.resetStats();
+
+    CellResult cell;
+    cell.workload = workload::workloadName(kind);
+    cell.config = spec.label;
+    cell.run = machine.run(params.measureOps);
+    return cell;
+}
+
+} // namespace emv::sim

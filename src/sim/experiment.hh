@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment descriptors: the paper's configuration bars and the
+ * machinery to run one (workload, configuration) cell.
+ *
+ * Labels follow the paper's figures: "4K" / "2M" / "1G" are native
+ * page sizes; "A+B" is guest size A with VMM size B; "THP" enables
+ * transparent huge pages; "DS" is the unvirtualized direct
+ * segment; "DD", "4K+VD", "4K+GD" are the proposed modes; "sh4K"
+ * and "sh2M" are shadow paging.
+ */
+
+#ifndef EMV_SIM_EXPERIMENT_HH
+#define EMV_SIM_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "workload/workload.hh"
+
+namespace emv::sim {
+
+/** One bar of a figure. */
+struct ConfigSpec
+{
+    std::string label;
+    core::Mode mode = core::Mode::Native;
+    PageSize guestPageSize = PageSize::Size4K;
+    PageSize vmmPageSize = PageSize::Size4K;
+    bool thp = false;
+    bool shadow = false;
+};
+
+/** Parse a label like "4K+2M", "DD", "THP", "sh4K". */
+std::optional<ConfigSpec> specFromLabel(const std::string &label);
+
+/** Fig. 11 bars (big-memory workloads). */
+std::vector<ConfigSpec> figure11Configs();
+
+/** Fig. 12 bars (compute workloads). */
+std::vector<ConfigSpec> figure12Configs();
+
+/** Fig. 1 preview bars. */
+std::vector<ConfigSpec> figure1Configs();
+
+/** Common run parameters. */
+struct RunParams
+{
+    std::uint64_t warmupOps = 1000000;
+    std::uint64_t measureOps = 3000000;
+    double scale = 1.0;           //!< Workload footprint scale.
+    std::uint64_t seed = 42;
+    unsigned badFrames = 0;       //!< Hard faults (Fig. 13).
+    std::uint64_t badFrameSeed = 99;
+
+    /** Parse "scale=0.25 ops=1000000 warmup=100000" style argv. */
+    void parseArgs(int argc, char **argv);
+};
+
+/** One measured cell. */
+struct CellResult
+{
+    std::string workload;
+    std::string config;
+    RunResult run;
+
+    /** The paper's y-axis: execution-time overhead vs T_2Mideal. */
+    double overhead() const { return run.totalOverhead(); }
+};
+
+/** Build a MachineConfig for a bar. */
+MachineConfig makeMachineConfig(const ConfigSpec &spec,
+                                const RunParams &params);
+
+/** Run one (workload, config) cell: build, warm up, measure. */
+CellResult runCell(workload::WorkloadKind kind,
+                   const ConfigSpec &spec, const RunParams &params);
+
+} // namespace emv::sim
+
+#endif // EMV_SIM_EXPERIMENT_HH

@@ -1,0 +1,565 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "os/hotplug.hh"
+
+namespace emv::sim {
+
+using core::FaultSpace;
+using core::Mode;
+
+namespace {
+
+constexpr Addr kRegionBase = 1ull << 40;     // 1 TB.
+constexpr Addr kRegionStride = 1ull << 39;   // 512 GB apart.
+constexpr Addr kIoGapStart = 3 * GiB;
+constexpr Addr kIoGapEnd = 4 * GiB;
+constexpr Addr kKernelKeepBytes = 256 * MiB;
+
+Addr
+autoGuestRam(Addr footprint)
+{
+    // Footprint + page tables + kernel + generous slack, so the
+    // segment reservation and ordinary allocations both fit.
+    return alignUp(footprint + footprint / 4 + 4 * GiB, kPage2M);
+}
+
+Addr
+autoHostRam(Addr guest_ram)
+{
+    return alignUp(guest_ram + guest_ram / 16 + 2 * GiB, kPage2M);
+}
+
+} // namespace
+
+Machine::Machine(const MachineConfig &config,
+                 workload::Workload &workload)
+    : cfg(config), wl(workload)
+{
+    emv_assert(!cfg.shadowPaging ||
+               cfg.mode == Mode::BaseVirtualized,
+               "shadow paging replaces nested paging; use "
+               "BaseVirtualized as the mode");
+
+    if (core::isVirtualized(cfg.mode))
+        buildVirtualized();
+    else
+        buildNative();
+
+    placeRegions();
+
+    // Guest segment first: populate() then skips its region.
+    if (core::usesGuestSegment(cfg.mode)) {
+        auto regs = _os->createGuestSegment(*proc);
+        if (!regs) {
+            emv_warn("guest segment creation failed (fragmented "
+                     "gPA); falling back to paging");
+        }
+    }
+
+    if (cfg.prePopulate)
+        populate();
+
+    injectBadFrames();
+    setupSegments();
+    wireMmu();
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::buildNative()
+{
+    const Addr footprint = wl.info().footprintBytes;
+    Addr ram = cfg.hostRamBytes ? cfg.hostRamBytes
+                                : autoGuestRam(footprint);
+    emv_assert(ram > kIoGapStart, "native machine too small");
+    // Native physical space keeps the architectural I/O gap too.
+    const Addr span = ram + (kIoGapEnd - kIoGapStart);
+    _hostMem = std::make_unique<mem::PhysMemory>(span);
+    hostAccessor = std::make_unique<mem::HostPhysAccessor>(*_hostMem);
+
+    os::OsConfig os_cfg;
+    os_cfg.thp = cfg.thp;
+    std::vector<Interval> ram_ranges = {
+        Interval{0, kIoGapStart}, Interval{kIoGapEnd, span}};
+    _os = std::make_unique<os::GuestOs>(*hostAccessor, span,
+                                        ram_ranges, os_cfg);
+
+    if (cfg.guestFragmentation.enabled)
+        applyGuestFragmentation();
+
+    proc = &_os->createProcess();
+}
+
+void
+Machine::buildVirtualized()
+{
+    // VMM-segment modes relocate the memory below the I/O gap to
+    // the top (§VI.C); reserve gPA (and host) room for the move *in
+    // addition to* any reserve the experiment wants for
+    // self-ballooning.
+    if (cfg.reclaimIoGap && core::usesVmmSegment(cfg.mode))
+        cfg.extensionReserve += kIoGapStart - kKernelKeepBytes;
+
+    const Addr footprint = wl.info().footprintBytes;
+    const Addr guest_ram = cfg.guestRamBytes
+                               ? cfg.guestRamBytes
+                               : autoGuestRam(footprint);
+    const Addr host_ram = cfg.hostRamBytes
+                              ? cfg.hostRamBytes
+                              : autoHostRam(guest_ram +
+                                            cfg.extensionReserve);
+
+    _hostMem = std::make_unique<mem::PhysMemory>(host_ram);
+    _vmm = std::make_unique<vmm::Vmm>(*_hostMem, host_ram);
+
+    if (cfg.hostFragmentation.enabled) {
+        // Host fragmentation comes from *another VM's* scattered
+        // pages: movable by host compaction, unlike pinned memory.
+        mem::Fragmenter frag(cfg.hostFragmentation.seed);
+        auto pins = frag.fragmentToRun(
+            _vmm->hostBuddy(), cfg.hostFragmentation.maxRunBytes);
+        vmm::VmConfig neighbor_cfg;
+        neighbor_cfg.ramBytes =
+            alignUp(pins.size() * kPage4K + 64 * MiB, kPage2M) +
+            kIoGapEnd;
+        neighbor_cfg.lowRamBytes = kIoGapStart;
+        neighbor_cfg.eagerBacking = false;
+        auto &neighbor = _vmm->createVm("neighbor", neighbor_cfg);
+        Addr gpa = kIoGapEnd;
+        for (const auto &pin : pins) {
+            for (Addr off = 0; off < (kPage4K << pin.order);
+                 off += kPage4K) {
+                const bool ok =
+                    neighbor.backWithFrame(gpa, pin.base + off);
+                emv_assert(ok, "neighbor backing failed");
+                gpa += kPage4K;
+            }
+        }
+    }
+
+    vmm::VmConfig vm_cfg;
+    vm_cfg.ramBytes = guest_ram;
+    vm_cfg.lowRamBytes = kIoGapStart;
+    vm_cfg.ioGapStart = kIoGapStart;
+    vm_cfg.ioGapEnd = kIoGapEnd;
+    vm_cfg.extensionReserve = cfg.extensionReserve;
+    vm_cfg.nestedPageSize = cfg.vmmPageSize;
+    vm_cfg.eagerBacking = cfg.eagerBacking;
+    vm_cfg.contiguousHostReservation = cfg.contiguousHostReservation;
+    _vm = &_vmm->createVm("vm0", vm_cfg);
+
+    os::OsConfig os_cfg;
+    os_cfg.thp = cfg.thp;
+    // Guest page tables go above the I/O gap so they live inside a
+    // VMM direct segment (§III.B's kernel-module change).
+    os_cfg.kernelAllocBase = kIoGapEnd;
+    _os = std::make_unique<os::GuestOs>(_vm->guestPhys(),
+                                        _vm->gpaSpan(),
+                                        _vm->guestRamLayout(), os_cfg);
+
+    // Reclaim the I/O gap when a VMM segment should cover (almost)
+    // all guest memory (§VI.C).  This is a boot-time step: it must
+    // precede the fragmentation that accumulates at runtime.
+    if (cfg.reclaimIoGap && core::usesVmmSegment(cfg.mode)) {
+        auto moved = os::reclaimIoGap(*_os, *_vm, kIoGapStart,
+                                      kKernelKeepBytes);
+        if (!moved)
+            emv_warn("I/O gap reclamation failed");
+    }
+
+    if (cfg.guestFragmentation.enabled)
+        applyGuestFragmentation();
+
+    proc = &_os->createProcess();
+}
+
+void
+Machine::applyGuestFragmentation()
+{
+    mem::Fragmenter frag(cfg.guestFragmentation.seed);
+    auto pins = frag.fragmentToRun(
+        _os->buddy(), cfg.guestFragmentation.maxRunBytes);
+    if (!cfg.guestFragmentation.movable) {
+        // Pinned fragmentation (driver buffers, balloons): immune
+        // to compaction.
+        for (const auto &pin : pins)
+            _os->markUnmovable(pin.base, kPage4K << pin.order);
+        return;
+    }
+    // Movable fragmentation: the scattered pages belong to a
+    // background process, so compaction can migrate them.
+    auto &background = _os->createProcess();
+    Addr total = 0;
+    for (const auto &pin : pins)
+        total += kPage4K << pin.order;
+    const Addr region_base = 1ull << 39;  // Below workload regions.
+    _os->defineRegion(background, "background", region_base,
+                      alignUp(std::max<Addr>(total, kPage4K),
+                              kPage4K),
+                      PageSize::Size4K);
+    Addr va = region_base;
+    for (const auto &pin : pins) {
+        for (Addr off = 0; off < (kPage4K << pin.order);
+             off += kPage4K) {
+            background.pageTable().map(va, pin.base + off,
+                                       PageSize::Size4K);
+            va += kPage4K;
+        }
+    }
+}
+
+void
+Machine::placeRegions()
+{
+    const auto &specs = wl.regions();
+    std::vector<Addr> bases;
+    bases.reserve(specs.size());
+    Addr next = kRegionBase;
+    for (const auto &spec : specs) {
+        bases.push_back(next);
+        _os->defineRegion(*proc, spec.name, next, spec.bytes,
+                          cfg.guestPageSize, spec.primary);
+        next = alignUp(next + spec.bytes + kRegionStride,
+                       kRegionStride);
+    }
+    wl.bindRegions(bases);
+}
+
+void
+Machine::populate()
+{
+    const auto &seg = proc->guestSegment();
+    for (const auto &region : proc->regions()) {
+        // Segment-covered memory needs no page tables: translation
+        // bypasses them entirely (Table I), and escape/fallback
+        // pages are faulted in lazily per §VI.B.
+        if (seg.enabled() && seg.contains(region.base) &&
+            seg.contains(region.end() - 1)) {
+            continue;
+        }
+        _os->populateRange(*proc, region.base, region.bytes);
+    }
+}
+
+void
+Machine::injectBadFrames()
+{
+    if (cfg.badFrames == 0)
+        return;
+    // Faults land inside the (future) segment backing, where they
+    // would otherwise forbid segment creation (§V).
+    Addr lo = 0;
+    Addr len = 0;
+    if (core::isVirtualized(cfg.mode)) {
+        auto extent = _vm->backingMap().largestExtent();
+        emv_assert(extent.has_value(), "no backing to poison");
+        lo = extent->hpa;
+        len = extent->bytes;
+    } else {
+        const auto &seg = proc->guestSegment();
+        emv_assert(seg.enabled(),
+                   "bad-frame injection needs a native segment");
+        lo = seg.base() + seg.offset();
+        len = seg.length();
+    }
+    Rng rng(cfg.badFrameSeed);
+    unsigned injected = 0;
+    while (injected < cfg.badFrames) {
+        const Addr frame =
+            lo + alignDown(rng.nextBelow(len), kPage4K);
+        if (_hostMem->isBad(frame))
+            continue;
+        _hostMem->markBad(frame);
+        ++injected;
+    }
+}
+
+void
+Machine::setupSegments()
+{
+    if (core::usesVmmSegment(cfg.mode)) {
+        const Addr high_ram =
+            _vm->config().ramBytes - _vm->config().lowRamBytes;
+        // Cover at least the RAM above the gap (plus whatever the
+        // I/O-gap reclaim moved there).
+        auto info = _vm->createVmmSegment(high_ram);
+        if (info) {
+            vmmSegmentInfo = *info;
+        } else {
+            emv_warn("VMM segment creation failed (fragmented "
+                     "host); staying on nested paging");
+        }
+    }
+}
+
+void
+Machine::wireMmu()
+{
+    _mmu = std::make_unique<core::Mmu>(*_hostMem, cfg.mmu);
+
+    if (cfg.shadowPaging) {
+        shadow = std::make_unique<vmm::ShadowPager>(*_vm, *proc);
+        shadow->rebuildAll();
+        _mmu->setMode(Mode::Native);
+        _mmu->setNativeRoot(shadow->shadowRoot());
+    } else {
+        _mmu->setMode(cfg.mode);
+        if (core::isVirtualized(cfg.mode)) {
+            _mmu->setGuestRoot(proc->pageTable().root());
+            _mmu->setNestedRoot(_vm->nestedRoot());
+        } else {
+            _mmu->setNativeRoot(proc->pageTable().root());
+        }
+    }
+
+    // Segments + escape filters.
+    if (core::usesGuestSegment(cfg.mode) &&
+        proc->guestSegment().enabled()) {
+        _mmu->setGuestSegment(proc->guestSegment());
+        if (cfg.mode == Mode::NativeDirect) {
+            const auto &seg = proc->guestSegment();
+            for (Addr bad : _hostMem->badFramesInRange(
+                     seg.base() + seg.offset(), seg.length())) {
+                _mmu->guestFilter().insertPage(bad - seg.offset());
+            }
+        }
+    }
+    if (vmmSegmentInfo) {
+        _mmu->setVmmSegment(vmmSegmentInfo->regs);
+        for (Addr gpa : vmmSegmentInfo->escapedGpas)
+            _mmu->vmmFilter().insertPage(gpa);
+    }
+
+    // TLB / shadow coherence hooks.
+    if (_vm) {
+        _vm->setNestedChangeHook([this](Addr gpa, PageSize size) {
+            _mmu->invalidateNestedPage(gpa, size);
+            if (shadow)
+                shadow->onBackingChanged(gpa, pageBytes(size));
+        });
+    }
+    _os->setMappingHook([this](os::Process &p, Addr va, Addr bytes,
+                               PageSize size, bool mapped) {
+        if (&p != proc)
+            return;
+        if (mapped) {
+            if (shadow)
+                shadow->onGuestMapped(va, bytes);
+        } else {
+            _mmu->invalidateGuestPage(va, size);
+            shootdownCyclesPool += static_cast<double>(
+                cfg.mmu.costs.shootdownCycles);
+            if (shadow)
+                shadow->onGuestUnmapped(va, bytes);
+        }
+    });
+
+    vmExitBase = _vm ? _vm->vmExits() : 0;
+    shadowExitBase = shadow ? shadow->syncExits() : 0;
+}
+
+bool
+Machine::serviceFault(const core::TranslationResult &result)
+{
+    if (result.faultSpace == FaultSpace::Nested) {
+        emv_assert(_vm, "nested fault without a VM");
+        if (!_vm->ensureBacked(result.faultAddr))
+            emv_fatal("unbackable nested fault at %s",
+                      hexAddr(result.faultAddr).c_str());
+        return true;
+    }
+    auto outcome = _os->handleFault(*proc, result.faultAddr);
+    if (!outcome.ok)
+        emv_fatal("guest segfault at %s",
+                  hexAddr(result.faultAddr).c_str());
+    ++guestFaultCount;
+    faultCyclesPool +=
+        static_cast<double>(cfg.mmu.costs.guestFaultCycles);
+    return true;
+}
+
+void
+Machine::resetStats()
+{
+    _mmu->stats().resetAll();
+    faultCyclesPool = 0.0;
+    shootdownCyclesPool = 0.0;
+    guestFaultCount = 0;
+    remapCount = 0;
+    accessCount = 0;
+    baseCyclesPool = 0.0;
+    vmExitBase = _vm ? _vm->vmExits() : 0;
+    shadowExitBase = shadow ? shadow->syncExits() : 0;
+}
+
+RunResult
+Machine::run(std::uint64_t ops)
+{
+    const auto &stats = _mmu->stats();
+    struct Snapshot
+    {
+        std::uint64_t l1m, l2m, walks, dd, ds, cb, cv, cg, cn;
+        double walkCycles, transCycles;
+    };
+    auto snap = [&]() {
+        return Snapshot{
+            stats.counterValue("l1_misses"),
+            stats.counterValue("l2_misses"),
+            stats.counterValue("walks"),
+            stats.counterValue("dd_fast_hits"),
+            stats.counterValue("ds_fast_hits"),
+            stats.counterValue("cat_both"),
+            stats.counterValue("cat_vmm_only"),
+            stats.counterValue("cat_guest_only"),
+            stats.counterValue("cat_neither"),
+            stats.scalarValue("walk_cycles"),
+            stats.scalarValue("translation_cycles"),
+        };
+    };
+    const Snapshot before = snap();
+    const double fault0 = faultCyclesPool;
+    const double shoot0 = shootdownCyclesPool;
+    const double base0 = baseCyclesPool;
+    const std::uint64_t faults0 = guestFaultCount;
+    const std::uint64_t access0 = accessCount;
+    const std::uint64_t remap0 = remapCount;
+    const std::uint64_t exits0 = _vm ? _vm->vmExits() : 0;
+    const std::uint64_t shadow0 = shadow ? shadow->syncExits() : 0;
+
+    const double base_per_access = wl.info().baseCyclesPerAccess;
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const auto op = wl.next();
+        if (op.kind == workload::Op::Kind::Remap) {
+            ++remapCount;
+            _os->unmapRange(*proc, op.va, op.bytes);
+            _os->populateRange(*proc, op.va, op.bytes);
+            // First-touch faults for the fresh mapping.
+            faultCyclesPool +=
+                static_cast<double>(op.bytes / kPage4K) *
+                static_cast<double>(cfg.mmu.costs.guestFaultCycles) /
+                512.0;
+            continue;
+        }
+        ++accessCount;
+        baseCyclesPool += base_per_access;
+        auto result = _mmu->translate(op.va);
+        int retries = 0;
+        while (!result.ok) {
+            emv_assert(retries++ < 4, "translation livelock at %s",
+                       hexAddr(op.va).c_str());
+            serviceFault(result);
+            result = _mmu->translate(op.va);
+        }
+    }
+
+    const Snapshot after = snap();
+    RunResult out;
+    out.accessOps = accessCount - access0;
+    out.remapOps = remapCount - remap0;
+    out.baseCycles = baseCyclesPool - base0;
+    out.translationCycles = after.transCycles - before.transCycles;
+    out.faultCycles = faultCyclesPool - fault0;
+    out.shootdownCycles = shootdownCyclesPool - shoot0;
+    const std::uint64_t exits =
+        (_vm ? _vm->vmExits() : 0) - exits0 +
+        (shadow ? shadow->syncExits() : 0) - shadow0;
+    out.vmExitCycles = static_cast<double>(exits) *
+                       static_cast<double>(cfg.mmu.costs.vmExitCycles);
+    out.l1Misses = after.l1m - before.l1m;
+    out.l2Misses = after.l2m - before.l2m;
+    out.walks = after.walks - before.walks;
+    out.guestFaults = guestFaultCount - faults0;
+    out.ddFastHits = after.dd - before.dd;
+    out.dsFastHits = after.ds - before.ds;
+    const double walk_cycles = after.walkCycles - before.walkCycles;
+    out.cyclesPerWalk =
+        out.walks ? walk_cycles / static_cast<double>(out.walks)
+                  : 0.0;
+    const double denom = static_cast<double>(out.walks + out.ddFastHits +
+                                             out.dsFastHits);
+    if (denom > 0.0) {
+        out.fractionBoth =
+            static_cast<double>(after.cb - before.cb) / denom;
+        out.fractionVmmOnly =
+            static_cast<double>(after.cv - before.cv) / denom;
+        out.fractionGuestOnly =
+            static_cast<double>(after.cg - before.cg) / denom;
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+Machine::upgradeWithHostCompaction(std::uint64_t max_migrations)
+{
+    emv_assert(_vm, "host compaction needs a VM");
+    // GuestDirect -> DualDirect only needs the *guest segment's*
+    // backing to be host-contiguous (segment-covered translations
+    // never touch the guest page tables).  BaseVirtualized -> VMM
+    // Direct needs the whole high range (page tables included).
+    Addr target_base = kIoGapEnd;
+    Addr target_bytes =
+        _vm->config().ramBytes - _vm->config().lowRamBytes;
+    const auto &gseg = proc->guestSegment();
+    if (cfg.mode == Mode::GuestDirect && gseg.enabled()) {
+        target_base = gseg.base() + gseg.offset();
+        target_bytes = gseg.length();
+    }
+    auto migrated = _vm->materializeVmmSegmentBacking(
+        target_base, target_bytes, max_migrations);
+    if (!migrated)
+        return std::nullopt;
+    auto info = _vm->createVmmSegment(target_bytes);
+    if (!info)
+        return std::nullopt;
+    vmmSegmentInfo = *info;
+    _mmu->setVmmSegment(info->regs);
+    for (Addr gpa : info->escapedGpas)
+        _mmu->vmmFilter().insertPage(gpa);
+    const Mode next = cfg.mode == Mode::GuestDirect
+                          ? Mode::DualDirect
+                          : Mode::VmmDirect;
+    cfg.mode = next;
+    _mmu->setMode(next);
+    return migrated;
+}
+
+bool
+Machine::selfBalloonGuestSegment()
+{
+    emv_assert(_vm, "self-ballooning needs a VM");
+    const auto *primary = proc->primaryRegion();
+    if (!primary)
+        return false;
+    if (!balloon)
+        balloon = std::make_unique<os::BalloonDriver>(*_os, *_vm);
+    auto ext = balloon->selfBalloon(primary->bytes);
+    if (!ext)
+        return false;
+    auto regs = _os->createGuestSegment(*proc);
+    if (!regs)
+        return false;
+    _mmu->setGuestSegment(*regs);
+    _mmu->flushGuestContext();
+
+    // The hot-added extension enlarged the backing extent; refresh
+    // the VMM segment so Dual Direct covers the new guest segment.
+    if (core::usesVmmSegment(cfg.mode)) {
+        auto info = _vm->createVmmSegment(primary->bytes);
+        if (info) {
+            vmmSegmentInfo = *info;
+            _mmu->setVmmSegment(info->regs);
+            _mmu->vmmFilter().clear();
+            for (Addr gpa : info->escapedGpas)
+                _mmu->vmmFilter().insertPage(gpa);
+            _mmu->flushAll();
+        }
+    }
+    return true;
+}
+
+} // namespace emv::sim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The full-system assembly: host memory + (optional) VMM/VM + OS +
+ * process + MMU + workload driver.
+ *
+ * A Machine corresponds to one configuration cell of the paper's
+ * evaluation (e.g. "graph500 under 4K+2M", or "memcached under
+ * Dual Direct"): it builds the whole stack for a translation mode,
+ * pre-faults the workload's regions, then replays the trace through
+ * the MMU, charging translation, fault, VM-exit and shootdown
+ * cycles.  Overheads are reported exactly as the paper defines them
+ * (§VIII): extra time relative to ideal base execution.
+ */
+
+#ifndef EMV_SIM_MACHINE_HH
+#define EMV_SIM_MACHINE_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/types.hh"
+#include "core/mmu.hh"
+#include "mem/fragmenter.hh"
+#include "mem/phys_accessor.hh"
+#include "mem/phys_memory.hh"
+#include "os/balloon.hh"
+#include "os/guest_os.hh"
+#include "vmm/shadow_pager.hh"
+#include "vmm/vmm.hh"
+#include "workload/workload.hh"
+
+namespace emv::sim {
+
+/** Deterministic fragmentation to apply before segment creation. */
+struct FragmentationSpec
+{
+    bool enabled = false;
+    Addr maxRunBytes = 64 * MiB;  //!< Largest free run to leave.
+    std::uint64_t seed = 1;
+    /** Guest only: fragmentation pages belong to a background
+     *  process (movable by compaction) instead of being pinned. */
+    bool movable = false;
+};
+
+/** One configuration cell. */
+struct MachineConfig
+{
+    core::Mode mode = core::Mode::Native;
+
+    /** Guest OS page size for data regions ("4K", "2M", "1G"). */
+    PageSize guestPageSize = PageSize::Size4K;
+    /** Nested (VMM) page size ("+4K", "+2M", "+1G"). */
+    PageSize vmmPageSize = PageSize::Size4K;
+    /** Transparent huge pages in the guest. */
+    bool thp = false;
+
+    /** Shadow paging instead of nested paging (§IX.D); the MMU then
+     *  performs native 1D walks over the shadow table. */
+    bool shadowPaging = false;
+
+    Addr hostRamBytes = 0;   //!< 0 = auto-size from the workload.
+    Addr guestRamBytes = 0;  //!< 0 = auto-size from the workload.
+    Addr extensionReserve = 0;  //!< gPA hot-add reserve.
+
+    bool eagerBacking = true;
+    bool contiguousHostReservation = true;
+    /** Relocate below-gap guest memory at boot (§VI.C); applies to
+     *  modes that want a VMM segment. */
+    bool reclaimIoGap = true;
+    bool prePopulate = true;
+
+    /** Hard-fault injection into the segment backing (Fig. 13). */
+    unsigned badFrames = 0;
+    std::uint64_t badFrameSeed = 99;
+
+    FragmentationSpec hostFragmentation;
+    FragmentationSpec guestFragmentation;
+
+    core::MmuConfig mmu{};
+    std::uint64_t seed = 42;
+};
+
+/** Measured outcome of a run() interval. */
+struct RunResult
+{
+    std::uint64_t accessOps = 0;
+    std::uint64_t remapOps = 0;
+
+    double baseCycles = 0.0;
+    double translationCycles = 0.0;
+    double faultCycles = 0.0;
+    double vmExitCycles = 0.0;
+    double shootdownCycles = 0.0;
+
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t guestFaults = 0;
+    std::uint64_t ddFastHits = 0;
+    std::uint64_t dsFastHits = 0;
+
+    double cyclesPerWalk = 0.0;
+    double fractionBoth = 0.0;
+    double fractionVmmOnly = 0.0;
+    double fractionGuestOnly = 0.0;
+
+    double
+    execCycles() const
+    {
+        return baseCycles + translationCycles + faultCycles +
+               vmExitCycles + shootdownCycles;
+    }
+
+    /** The paper's address-translation overhead vs ideal base. */
+    double
+    translationOverhead() const
+    {
+        return baseCycles > 0.0 ? translationCycles / baseCycles
+                                : 0.0;
+    }
+
+    /** Overhead including faults, exits and shootdowns. */
+    double
+    totalOverhead() const
+    {
+        return baseCycles > 0.0
+                   ? (execCycles() - baseCycles) / baseCycles
+                   : 0.0;
+    }
+};
+
+/** The machine. */
+class Machine
+{
+  public:
+    Machine(const MachineConfig &config,
+            workload::Workload &workload);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Replay @p ops trace events; returns this interval's stats. */
+    RunResult run(std::uint64_t ops);
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+    /** @{ Table III mode transitions. */
+    /**
+     * Host compaction path: materialize contiguous backing for the
+     * guest's RAM above the I/O gap, create the VMM segment, and
+     * upgrade GuestDirect→DualDirect or BaseVirtualized→VmmDirect.
+     * @return Pages migrated, or nullopt (failed / over budget).
+     */
+    std::optional<std::uint64_t>
+    upgradeWithHostCompaction(std::uint64_t max_migrations = 0);
+
+    /**
+     * Self-ballooning path: create a contiguous gPA extension and
+     * move the guest segment onto it (fragmented guest memory).
+     * @return true when the guest segment was (re)created.
+     */
+    bool selfBalloonGuestSegment();
+    /** @} */
+
+    /** @{ Component access (examples, tests, benches). */
+    core::Mmu &mmu() { return *_mmu; }
+    os::GuestOs &os() { return *_os; }
+    os::Process &process() { return *proc; }
+    vmm::Vm *vm() { return _vm; }
+    vmm::Vmm *vmm() { return _vmm.get(); }
+    vmm::ShadowPager *shadowPager() { return shadow.get(); }
+    mem::PhysMemory &hostMem() { return *_hostMem; }
+    workload::Workload &workload() { return wl; }
+    const MachineConfig &config() const { return cfg; }
+    const segment::SegmentRegs &vmmSegment() const
+    { return _mmu->vmmSegment(); }
+    const segment::SegmentRegs &guestSegment() const
+    { return _mmu->guestSegment(); }
+    /** @} */
+
+  private:
+    void buildNative();
+    void buildVirtualized();
+    void applyGuestFragmentation();
+    void placeRegions();
+    void populate();
+    void setupSegments();
+    void wireMmu();
+    void injectBadFrames();
+
+    /** Handle a faulting translation; true if retry makes sense. */
+    bool serviceFault(const core::TranslationResult &result);
+
+    MachineConfig cfg;
+    workload::Workload &wl;
+
+    std::unique_ptr<mem::PhysMemory> _hostMem;
+    std::unique_ptr<mem::HostPhysAccessor> hostAccessor;
+    std::unique_ptr<vmm::Vmm> _vmm;
+    vmm::Vm *_vm = nullptr;
+    std::unique_ptr<os::GuestOs> _os;
+    os::Process *proc = nullptr;
+    std::unique_ptr<core::Mmu> _mmu;
+    std::unique_ptr<vmm::ShadowPager> shadow;
+    std::unique_ptr<os::BalloonDriver> balloon;
+    std::optional<vmm::VmmSegmentInfo> vmmSegmentInfo;
+
+    /** Cycle pools accumulated outside the MMU. */
+    double faultCyclesPool = 0.0;
+    double shootdownCyclesPool = 0.0;
+    std::uint64_t guestFaultCount = 0;
+    std::uint64_t remapCount = 0;
+    std::uint64_t accessCount = 0;
+    double baseCyclesPool = 0.0;
+    std::uint64_t vmExitBase = 0;
+    std::uint64_t shadowExitBase = 0;
+};
+
+} // namespace emv::sim
+
+#endif // EMV_SIM_MACHINE_HH

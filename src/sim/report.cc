@@ -1,0 +1,89 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace emv::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    emv_assert(cells.size() == head.size(),
+               "table row has %zu cells, expected %zu", cells.size(),
+               head.size());
+    body.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(head);
+    std::size_t total = head.size() ? 2 * (head.size() - 1) : 0;
+    for (auto w : widths)
+        total += w;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+std::string
+pct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+bytesStr(std::uint64_t bytes)
+{
+    char buf[48];
+    if (bytes >= (1ull << 30)) {
+        std::snprintf(buf, sizeof(buf), "%.2f GB",
+                      static_cast<double>(bytes) / (1ull << 30));
+    } else if (bytes >= (1ull << 20)) {
+        std::snprintf(buf, sizeof(buf), "%.2f MB",
+                      static_cast<double>(bytes) / (1ull << 20));
+    } else if (bytes >= (1ull << 10)) {
+        std::snprintf(buf, sizeof(buf), "%.2f KB",
+                      static_cast<double>(bytes) / (1ull << 10));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+} // namespace emv::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text report formatting for the bench binaries: fixed-width
+ * tables (the "rows and series" of each paper figure) plus small
+ * number-formatting helpers.
+ */
+
+#ifndef EMV_SIM_REPORT_HH
+#define EMV_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace emv::sim {
+
+/** Fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** "12.3%" (one decimal). */
+std::string pct(double fraction);
+
+/** Fixed-precision double. */
+std::string fmt(double value, int precision = 2);
+
+/** "1.25 GB" style byte counts. */
+std::string bytesStr(std::uint64_t bytes);
+
+} // namespace emv::sim
+
+#endif // EMV_SIM_REPORT_HH

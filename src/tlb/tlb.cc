@@ -1,0 +1,161 @@
+#include "tlb/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace emv::tlb {
+
+namespace {
+
+inline std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+Tlb::Tlb(std::string name, unsigned sets, unsigned ways)
+    : name(std::move(name)), numSets(sets), numWays(ways),
+      entries(sets * ways), _stats(this->name),
+      hitsCtr(&_stats.counter("hits")),
+      missesCtr(&_stats.counter("misses")),
+      insertsCtr(&_stats.counter("inserts")),
+      evictionsCtr(&_stats.counter("evictions"))
+{
+    emv_assert(sets > 0 && (sets & (sets - 1)) == 0,
+               "TLB sets must be a power of two");
+    emv_assert(ways > 0, "TLB needs at least one way");
+}
+
+unsigned
+Tlb::setOf(std::uint64_t vpn, EntryKind kind, PageSize size) const
+{
+    if (numSets == 1)
+        return 0;
+    const std::uint64_t k =
+        (vpn << 4) | (static_cast<std::uint64_t>(kind) << 2) |
+        static_cast<std::uint64_t>(size);
+    return static_cast<unsigned>(mix(k) & (numSets - 1));
+}
+
+std::optional<TlbHit>
+Tlb::lookup(EntryKind kind, Addr addr, PageSize size)
+{
+    const std::uint64_t vpn = addr >> pageShift(size);
+    Entry *set = &entries[setOf(vpn, kind, size) * numWays];
+    for (unsigned w = 0; w < numWays; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.kind == kind && e.size == size &&
+            e.vpn == vpn) {
+            e.lru = ++tick;
+            ++*hitsCtr;
+            return TlbHit{e.frame, e.size};
+        }
+    }
+    ++*missesCtr;
+    return std::nullopt;
+}
+
+std::optional<TlbHit>
+Tlb::lookupAny(EntryKind kind, Addr addr)
+{
+    for (PageSize size : {PageSize::Size1G, PageSize::Size2M,
+                          PageSize::Size4K}) {
+        // lookupAny counts a single logical probe; suppress the
+        // per-size miss counting by probing manually.
+        const std::uint64_t vpn = addr >> pageShift(size);
+        Entry *set = &entries[setOf(vpn, kind, size) * numWays];
+        for (unsigned w = 0; w < numWays; ++w) {
+            Entry &e = set[w];
+            if (e.valid && e.kind == kind && e.size == size &&
+                e.vpn == vpn) {
+                e.lru = ++tick;
+                ++*hitsCtr;
+                return TlbHit{e.frame, e.size};
+            }
+        }
+    }
+    ++*missesCtr;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(EntryKind kind, Addr addr, Addr frame, PageSize size)
+{
+    emv_assert(isAligned(frame, pageBytes(size)),
+               "TLB insert: frame %s not aligned to %s",
+               hexAddr(frame).c_str(), pageSizeName(size));
+    const std::uint64_t vpn = addr >> pageShift(size);
+    Entry *set = &entries[setOf(vpn, kind, size) * numWays];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < numWays; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.kind == kind && e.size == size &&
+            e.vpn == vpn) {
+            e.frame = frame;
+            e.lru = ++tick;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            continue;
+        }
+        if (victim->valid && e.lru < victim->lru)
+            victim = &e;
+    }
+    if (victim->valid)
+        ++*evictionsCtr;
+    victim->vpn = vpn;
+    victim->frame = frame;
+    victim->size = size;
+    victim->kind = kind;
+    victim->lru = ++tick;
+    victim->valid = true;
+    ++*insertsCtr;
+}
+
+void
+Tlb::flushPage(EntryKind kind, Addr addr, PageSize size)
+{
+    const std::uint64_t vpn = addr >> pageShift(size);
+    Entry *set = &entries[setOf(vpn, kind, size) * numWays];
+    for (unsigned w = 0; w < numWays; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.kind == kind && e.size == size &&
+            e.vpn == vpn) {
+            e.valid = false;
+        }
+    }
+}
+
+void
+Tlb::flushKind(EntryKind kind)
+{
+    for (auto &e : entries) {
+        if (e.kind == kind)
+            e.valid = false;
+    }
+    ++_stats.counter("kind_flushes");
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : entries)
+        e.valid = false;
+    ++_stats.counter("full_flushes");
+}
+
+std::size_t
+Tlb::occupancy(EntryKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries)
+        n += (e.valid && e.kind == kind) ? 1 : 0;
+    return n;
+}
+
+} // namespace emv::tlb

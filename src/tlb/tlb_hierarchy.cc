@@ -1,0 +1,106 @@
+#include "tlb/tlb_hierarchy.hh"
+
+namespace emv::tlb {
+
+TlbHierarchy::TlbHierarchy(const TlbGeometry &g)
+    : l1Tlb4K("l1tlb4k", g.l1Sets4K, g.l1Ways4K),
+      l1Tlb2M("l1tlb2m", g.l1Sets2M, g.l1Ways2M),
+      l1Tlb1G("l1tlb1g", g.l1Sets1G, g.l1Ways1G),
+      l2Tlb("l2tlb", g.l2Sets, g.l2Ways)
+{
+}
+
+Tlb &
+TlbHierarchy::l1For(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return l1Tlb4K;
+      case PageSize::Size2M: return l1Tlb2M;
+      case PageSize::Size1G: return l1Tlb1G;
+    }
+    return l1Tlb4K;
+}
+
+std::optional<TlbHit>
+TlbHierarchy::lookupL1(Addr gva)
+{
+    // The split L1s are probed in parallel in hardware; at most one
+    // can match because a virtual page has a single mapping size.
+    if (auto hit = l1Tlb1G.lookup(EntryKind::Guest, gva,
+                                  PageSize::Size1G)) {
+        return hit;
+    }
+    if (auto hit = l1Tlb2M.lookup(EntryKind::Guest, gva,
+                                  PageSize::Size2M)) {
+        return hit;
+    }
+    return l1Tlb4K.lookup(EntryKind::Guest, gva, PageSize::Size4K);
+}
+
+std::optional<TlbHit>
+TlbHierarchy::lookupL2(Addr gva)
+{
+    // Table VI: the unified L2 holds 4K translations only; 2M
+    // entries live solely in the 32-entry L1 and 1G entries in the
+    // 4-entry L1.  This is why large pages reduce misses through
+    // *reach*, not capacity — and why 1G pages can hurt (§VIII).
+    return l2Tlb.lookup(EntryKind::Guest, gva, PageSize::Size4K);
+}
+
+std::optional<TlbHit>
+TlbHierarchy::lookupNested(Addr gpa)
+{
+    if (auto hit = l2Tlb.lookup(EntryKind::Nested, gpa,
+                                PageSize::Size2M)) {
+        return hit;
+    }
+    return l2Tlb.lookup(EntryKind::Nested, gpa, PageSize::Size4K);
+}
+
+void
+TlbHierarchy::insertGuest(Addr gva, Addr hframe, PageSize size)
+{
+    l1For(size).insert(EntryKind::Guest, gva, hframe, size);
+    if (size == PageSize::Size4K)
+        l2Tlb.insert(EntryKind::Guest, gva, hframe, size);
+}
+
+void
+TlbHierarchy::insertNested(Addr gpa, Addr hframe, PageSize size)
+{
+    if (size != PageSize::Size1G)
+        l2Tlb.insert(EntryKind::Nested, gpa, hframe, size);
+}
+
+void
+TlbHierarchy::flushGuest()
+{
+    l1Tlb4K.flushKind(EntryKind::Guest);
+    l1Tlb2M.flushKind(EntryKind::Guest);
+    l1Tlb1G.flushKind(EntryKind::Guest);
+    l2Tlb.flushKind(EntryKind::Guest);
+}
+
+void
+TlbHierarchy::flushAll()
+{
+    l1Tlb4K.flushAll();
+    l1Tlb2M.flushAll();
+    l1Tlb1G.flushAll();
+    l2Tlb.flushAll();
+}
+
+void
+TlbHierarchy::flushGuestPage(Addr gva, PageSize size)
+{
+    l1For(size).flushPage(EntryKind::Guest, gva, size);
+    l2Tlb.flushPage(EntryKind::Guest, gva, size);
+}
+
+void
+TlbHierarchy::flushNestedPage(Addr gpa, PageSize size)
+{
+    l2Tlb.flushPage(EntryKind::Nested, gpa, size);
+}
+
+} // namespace emv::tlb

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Two-level TLB hierarchy matching the evaluation platform.
+ *
+ * Table VI geometry (Intel Xeon E5-2430, SandyBridge):
+ *   L1 D-TLB: 4K 64-entry 4-way; 2M 32-entry 4-way; 1G 4-entry FA
+ *   L2 TLB:   512-entry 4-way, shared with nested (gPA→hPA) entries
+ */
+
+#ifndef EMV_TLB_TLB_HIERARCHY_HH
+#define EMV_TLB_TLB_HIERARCHY_HH
+
+#include <memory>
+#include <optional>
+
+#include "tlb/tlb.hh"
+
+namespace emv::tlb {
+
+/** Geometry knobs for the hierarchy. */
+struct TlbGeometry
+{
+    unsigned l1Sets4K = 16;  //!< 16 sets x 4 ways = 64 entries.
+    unsigned l1Ways4K = 4;
+    unsigned l1Sets2M = 8;   //!< 8 x 4 = 32 entries.
+    unsigned l1Ways2M = 4;
+    unsigned l1Sets1G = 1;   //!< Fully associative, 4 entries.
+    unsigned l1Ways1G = 4;
+    unsigned l2Sets = 128;   //!< 128 x 4 = 512 entries.
+    unsigned l2Ways = 4;
+};
+
+/** L1 (split by page size) + unified L2 shared with nested entries. */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const TlbGeometry &geometry = {});
+
+    /** Probe all L1 structures for a guest translation. */
+    std::optional<TlbHit> lookupL1(Addr gva);
+
+    /** Probe the L2 for a guest translation. */
+    std::optional<TlbHit> lookupL2(Addr gva);
+
+    /** Probe the L2 for a nested (gPA→hPA) translation. */
+    std::optional<TlbHit> lookupNested(Addr gpa);
+
+    /** Install a guest translation in L1 (and L2 as victim buffer). */
+    void insertGuest(Addr gva, Addr hframe, PageSize size);
+
+    /** Install a nested translation in the shared L2. */
+    void insertNested(Addr gpa, Addr hframe, PageSize size);
+
+    /** Guest context switch: drop guest translations (no ASIDs). */
+    void flushGuest();
+
+    /** VM switch / nested table change: drop everything. */
+    void flushAll();
+
+    /** Invalidate one guest page across levels. */
+    void flushGuestPage(Addr gva, PageSize size);
+
+    /** Invalidate one nested page in the L2. */
+    void flushNestedPage(Addr gpa, PageSize size);
+
+    Tlb &l1For(PageSize size);
+    Tlb &l2() { return l2Tlb; }
+
+  private:
+    Tlb l1Tlb4K;
+    Tlb l1Tlb2M;
+    Tlb l1Tlb1G;
+    Tlb l2Tlb;
+};
+
+} // namespace emv::tlb
+
+#endif // EMV_TLB_TLB_HIERARCHY_HH

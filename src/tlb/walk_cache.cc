@@ -1,0 +1,130 @@
+#include "tlb/walk_cache.hh"
+
+#include "common/logging.hh"
+
+namespace emv::tlb {
+
+namespace {
+
+/** Cheap 64-bit mix for set indexing. */
+inline std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+WalkCache::WalkCache(unsigned sets, unsigned ways)
+    : numSets(sets), numWays(ways), entries(sets * ways),
+      hitsCtr(&_stats.counter("hits")),
+      missesCtr(&_stats.counter("misses"))
+{
+    emv_assert(sets > 0 && (sets & (sets - 1)) == 0,
+               "walk cache sets must be a power of two");
+    emv_assert(ways > 0, "walk cache needs at least one way");
+}
+
+unsigned
+WalkCache::setOf(std::uint64_t key) const
+{
+    return static_cast<unsigned>(mix(key) & (numSets - 1));
+}
+
+std::optional<Addr>
+WalkCache::lookup(std::uint64_t key)
+{
+    Entry *set = &entries[setOf(key) * numWays];
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (set[w].valid && set[w].key == key) {
+            set[w].lru = ++tick;
+            ++*hitsCtr;
+            return set[w].value;
+        }
+    }
+    ++*missesCtr;
+    return std::nullopt;
+}
+
+void
+WalkCache::insert(std::uint64_t key, Addr next_table)
+{
+    Entry *set = &entries[setOf(key) * numWays];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (set[w].valid && set[w].key == key) {
+            set[w].value = next_table;
+            set[w].lru = ++tick;
+            return;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    victim->key = key;
+    victim->value = next_table;
+    victim->lru = ++tick;
+    victim->valid = true;
+}
+
+void
+WalkCache::flush()
+{
+    for (auto &entry : entries)
+        entry.valid = false;
+    ++_stats.counter("flushes");
+}
+
+LineCache::LineCache(unsigned sets, unsigned ways)
+    : numSets(sets), numWays(ways), entries(sets * ways),
+      hitsCtr(&_stats.counter("hits")),
+      missesCtr(&_stats.counter("misses"))
+{
+    emv_assert(sets > 0 && (sets & (sets - 1)) == 0,
+               "line cache sets must be a power of two");
+    emv_assert(ways > 0, "line cache needs at least one way");
+}
+
+bool
+LineCache::access(Addr pa)
+{
+    const std::uint64_t line = pa >> 6;
+    const unsigned set_idx =
+        static_cast<unsigned>(mix(line) & (numSets - 1));
+    Entry *set = &entries[set_idx * numWays];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < numWays; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].lru = ++tick;
+            ++*hitsCtr;
+            return true;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            continue;
+        }
+        if (victim->valid && set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    victim->tag = line;
+    victim->lru = ++tick;
+    victim->valid = true;
+    ++*missesCtr;
+    return false;
+}
+
+void
+LineCache::flush()
+{
+    for (auto &entry : entries)
+        entry.valid = false;
+    ++_stats.counter("flushes");
+}
+
+} // namespace emv::tlb

@@ -1,0 +1,111 @@
+#include "vmm/live_migration.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "vmm/vmm.hh"
+
+namespace emv::vmm {
+
+LiveMigration::LiveMigration(Vm &source, Vm &destination)
+    : src(source), dst(destination)
+{
+}
+
+bool
+LiveMigration::begin()
+{
+    // Table II: an active VMM segment means the VMM no longer
+    // mediates gPA→hPA at 4K granularity, so it cannot track or
+    // remap the pages a migration needs.  (Guest segments are fine:
+    // Guest Direct keeps nested paging.)
+    if (!src.activeSegmentRegion().empty()) {
+        ++_stats.counter("refused_segment_active");
+        return false;
+    }
+    emv_assert(dst.gpaSpan() >= src.gpaSpan(),
+               "destination VM too small for migration");
+    started = true;
+    firstRoundDone = false;
+    dirty.clear();
+    return true;
+}
+
+void
+LiveMigration::copyPage(Addr gpa)
+{
+    auto src_hpa = src.gpaToHpa(gpa);
+    if (!src_hpa)
+        return;  // Unbacked (ballooned/swapped) pages stay holes.
+    if (!dst.gpaToHpa(gpa) && !dst.ensureBacked(gpa))
+        emv_fatal("migration destination out of memory");
+    auto dst_hpa = dst.gpaToHpa(gpa);
+    // Both VMs live in the same simulated host memory; a real
+    // migration would move bytes over the wire here.
+    src.vmm().hostMem().copyFrame(alignDown(*dst_hpa, kPage4K),
+                                  alignDown(*src_hpa, kPage4K));
+    ++_stats.counter("pages_copied");
+}
+
+std::uint64_t
+LiveMigration::copyRound()
+{
+    emv_assert(started, "copyRound before begin()");
+    std::uint64_t copied = 0;
+    if (!firstRoundDone) {
+        for (const auto &extent : src.backingMap().extents()) {
+            for (Addr off = 0; off < extent.bytes; off += kPage4K) {
+                copyPage(extent.gpa + off);
+                ++copied;
+            }
+        }
+        firstRoundDone = true;
+    } else {
+        std::vector<Addr> batch(dirty.begin(), dirty.end());
+        dirty.clear();
+        for (Addr gpa : batch) {
+            copyPage(gpa);
+            ++copied;
+        }
+    }
+    ++_stats.counter("rounds");
+    return copied;
+}
+
+void
+LiveMigration::markDirty(Addr gpa)
+{
+    if (started)
+        dirty.insert(alignDown(gpa, kPage4K));
+}
+
+std::uint64_t
+LiveMigration::finalRound()
+{
+    // The machine stops feeding writes before calling this (the
+    // stop-and-copy pause).
+    emv_assert(firstRoundDone, "finalRound before the first copy");
+    return copyRound();
+}
+
+bool
+LiveMigration::verify() const
+{
+    for (const auto &extent : src.backingMap().extents()) {
+        for (Addr off = 0; off < extent.bytes; off += kPage4K) {
+            const Addr gpa = extent.gpa + off;
+            auto s = src.gpaToHpa(gpa);
+            auto d = dst.gpaToHpa(gpa);
+            if (!d)
+                return false;
+            auto &mem = src.vmm().hostMem();
+            if (mem.hashFrame(alignDown(*s, kPage4K)) !=
+                mem.hashFrame(alignDown(*d, kPage4K))) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace emv::vmm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shadow paging (§II.A, §IX.D) — the classic software alternative.
+ *
+ * The VMM composes the guest page table (gVA→gPA) with its own
+ * gPA→hPA mapping into a *shadow* table (gVA→hPA) that the hardware
+ * walks natively in 1D.  TLB misses are cheap; the cost moves to
+ * coherence: every guest page-table update traps to the VMM so the
+ * shadow can be kept in sync.  Workloads with frequent mapping
+ * churn (memcached, omnetpp, ...) pay heavily; static ones do not —
+ * exactly the split the paper observes.
+ */
+
+#ifndef EMV_VMM_SHADOW_PAGER_HH
+#define EMV_VMM_SHADOW_PAGER_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "os/process.hh"
+#include "paging/page_table.hh"
+
+namespace emv::vmm {
+
+class Vm;
+
+/** Shadow page table for one guest process. */
+class ShadowPager
+{
+  public:
+    ShadowPager(Vm &vm, os::Process &proc);
+    ~ShadowPager();
+
+    ShadowPager(const ShadowPager &) = delete;
+    ShadowPager &operator=(const ShadowPager &) = delete;
+
+    /** Host-physical root for the hardware's 1D walker. */
+    Addr shadowRoot() const;
+
+    /** Full resync from the guest table (VM start / CR3 write). */
+    void rebuildAll();
+
+    /**
+     * Guest mapped [gva, gva+bytes): sync the shadow.  Each synced
+     * leaf costs one VM exit (write-protected guest PT trap).
+     */
+    void onGuestMapped(Addr gva, Addr bytes);
+
+    /** Guest unmapped [gva, gva+bytes). */
+    void onGuestUnmapped(Addr gva, Addr bytes);
+
+    /** Nested mapping changed under a gPA: drop affected entries. */
+    void onBackingChanged(Addr gpa, Addr bytes);
+
+    /** Coherence VM exits charged so far. */
+    std::uint64_t syncExits() const
+    { return _stats.counterValue("sync_exits"); }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    class ShadowTableSpace;
+
+    /** Sync one guest leaf into the shadow; true if synced. */
+    bool syncLeaf(Addr gva);
+
+    Vm &vm;
+    os::Process &proc;
+    std::unique_ptr<ShadowTableSpace> space;
+    std::unique_ptr<paging::PageTable> shadowPt;
+    StatGroup _stats{"shadow"};
+};
+
+} // namespace emv::vmm
+
+#endif // EMV_VMM_SHADOW_PAGER_HH

@@ -1,0 +1,761 @@
+#include "vmm/vmm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace emv::vmm {
+
+namespace {
+
+unsigned
+orderFor(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 0;
+      case PageSize::Size2M: return 9;
+      case PageSize::Size1G: return 18;
+    }
+    return 0;
+}
+
+constexpr Addr kGuestHvaBase = 0x7f0000000000ull;
+
+} // namespace
+
+/** Nested/shadow tables live directly in host memory. */
+class Vm::HostTableSpace : public paging::MemSpace
+{
+  public:
+    explicit HostTableSpace(Vmm &vmm) : vmm(vmm) {}
+
+    std::uint64_t
+    read64(Addr addr) const override
+    {
+        return vmm.hostMem().read64(addr);
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value) override
+    {
+        vmm.hostMem().write64(addr, value);
+    }
+
+    Addr
+    allocTableFrame() override
+    {
+        const Addr frame = vmm.allocTableFrameHost();
+        vmm.hostMem().zeroFrame(frame);
+        return frame;
+    }
+
+    void
+    freeTableFrame(Addr frame) override
+    {
+        vmm.freeTableFrameHost(frame);
+    }
+
+  private:
+    Vmm &vmm;
+};
+
+/** The guest's view of its physical memory. */
+class Vm::GuestPhysAccessor : public mem::PhysAccessor
+{
+  public:
+    explicit GuestPhysAccessor(Vm &vm) : vm(vm) {}
+
+    std::uint64_t
+    read64(Addr gpa) const override
+    {
+        auto hpa = vm.backing.toHpa(gpa);
+        if (!hpa)
+            return 0;  // Unbacked guest memory reads as zero.
+        return vm._vmm.hostMem().read64(*hpa);
+    }
+
+    void
+    write64(Addr gpa, std::uint64_t value) override
+    {
+        auto hpa = vm.backing.toHpa(gpa);
+        if (!hpa) {
+            if (!vm.ensureBacked(gpa))
+                emv_fatal("guest write to unbackable gPA %s",
+                          hexAddr(gpa).c_str());
+            hpa = vm.backing.toHpa(gpa);
+        }
+        vm._vmm.hostMem().write64(*hpa, value);
+    }
+
+    void
+    zeroFrame(Addr frame_base) override
+    {
+        if (!vm.backing.toHpa(frame_base) &&
+            !vm.ensureBacked(frame_base)) {
+            emv_fatal("guest zeroFrame of unbackable gPA %s",
+                      hexAddr(frame_base).c_str());
+        }
+        vm._vmm.hostMem().zeroFrame(*vm.backing.toHpa(frame_base));
+    }
+
+    void
+    copyFrame(Addr dst_base, Addr src_base) override
+    {
+        if (!vm.backing.toHpa(dst_base) && !vm.ensureBacked(dst_base))
+            emv_fatal("guest copyFrame to unbackable gPA");
+        auto src = vm.backing.toHpa(src_base);
+        auto dst = vm.backing.toHpa(dst_base);
+        if (!src) {
+            vm._vmm.hostMem().zeroFrame(*dst);
+            return;
+        }
+        vm._vmm.hostMem().copyFrame(*dst, *src);
+    }
+
+    /** The VMM hides host hard faults from the guest. */
+    bool isBad(Addr) const override { return false; }
+    bool anyBadInRange(Addr, Addr) const override { return false; }
+
+  private:
+    Vm &vm;
+};
+
+Vmm::Vmm(mem::PhysMemory &host_mem, Addr host_ram_bytes)
+    : _hostMem(host_mem)
+{
+    emv_assert(host_ram_bytes <= host_mem.size(),
+               "host RAM exceeds physical memory size");
+    _hostBuddy =
+        std::make_unique<mem::BuddyAllocator>(0, host_ram_bytes);
+}
+
+Vm &
+Vmm::createVm(std::string name, const VmConfig &config)
+{
+    _vms.push_back(
+        std::make_unique<Vm>(*this, std::move(name), config));
+    return *_vms.back();
+}
+
+std::optional<Addr>
+Vmm::allocHostBlock(PageSize size)
+{
+    for (;;) {
+        auto block = _hostBuddy->allocate(orderFor(size));
+        if (!block)
+            return std::nullopt;
+        if (!_hostMem.anyBadInRange(*block, pageBytes(size)))
+            return block;
+        for (Addr pa = *block; pa < *block + pageBytes(size);
+             pa += kPage4K) {
+            if (_hostMem.isBad(pa)) {
+                retiredBadFrames.push_back(pa);
+                markHostUnmovable(pa, kPage4K);
+                ++_stats.counter("bad_frames_retired");
+            } else {
+                _hostBuddy->freeRange(pa, kPage4K);
+            }
+        }
+    }
+}
+
+void
+Vmm::freeHostBlock(Addr base, PageSize size)
+{
+    _hostBuddy->free(base, orderFor(size));
+}
+
+bool
+Vmm::reserveHostRange(Addr base, Addr bytes)
+{
+    return _hostBuddy->allocateRange(base, bytes);
+}
+
+Addr
+Vmm::allocTableFrameHost()
+{
+    if (tableFreeList.empty()) {
+        constexpr Addr chunk_bytes = 4 * MiB;
+        auto fit = _hostBuddy->freeIntervals().findFitLowAbove(
+            chunk_bytes, kPage4K, 0);
+        if (fit && _hostBuddy->allocateRange(fit->start,
+                                             chunk_bytes)) {
+            markHostUnmovable(fit->start, chunk_bytes);
+            ++_stats.counter("table_chunks");
+            for (Addr off = 0; off < chunk_bytes; off += kPage4K) {
+                if (!_hostMem.isBad(fit->start + off))
+                    tableFreeList.push_back(fit->start + off);
+            }
+        } else {
+            auto frame = allocHostBlock(PageSize::Size4K);
+            if (!frame)
+                emv_fatal("host out of memory for table frames");
+            markHostUnmovable(*frame, kPage4K);
+            tableFreeList.push_back(*frame);
+        }
+    }
+    const Addr frame = tableFreeList.back();
+    tableFreeList.pop_back();
+    return frame;
+}
+
+void
+Vmm::freeTableFrameHost(Addr frame)
+{
+    tableFreeList.push_back(frame);
+}
+
+std::vector<Vm *>
+Vmm::vms()
+{
+    std::vector<Vm *> out;
+    out.reserve(_vms.size());
+    for (auto &vm : _vms)
+        out.push_back(vm.get());
+    return out;
+}
+
+Vm::Vm(Vmm &vmm, std::string name, const VmConfig &config)
+    : _vmm(vmm), _name(std::move(name)), cfg(config),
+      _stats("vm." + _name)
+{
+    emv_assert(cfg.ramBytes > cfg.lowRamBytes,
+               "VM needs RAM above the I/O gap");
+    emv_assert(cfg.lowRamBytes <= cfg.ioGapStart,
+               "low RAM overlaps the I/O gap");
+    emv_assert(isAligned(cfg.ramBytes, kPage2M) &&
+               isAligned(cfg.lowRamBytes, kPage2M) &&
+               isAligned(cfg.extensionReserve, kPage2M),
+               "VM memory sizes must be 2M aligned");
+
+    const Addr high_ram = cfg.ramBytes - cfg.lowRamBytes;
+    // KVM's two big slots (Fig. 10); the second is pre-extended by
+    // the hot-add reserve per §VI.C.
+    _slots.addSlot("low", 0, cfg.lowRamBytes, kGuestHvaBase);
+    _slots.addSlot("high", cfg.ioGapEnd,
+                   high_ram + cfg.extensionReserve,
+                   kGuestHvaBase + cfg.ioGapEnd);
+
+    tableSpace = std::make_unique<HostTableSpace>(vmm);
+    nestedPt = std::make_unique<paging::PageTable>(*tableSpace);
+    accessor = std::make_unique<GuestPhysAccessor>(*this);
+
+    if (cfg.eagerBacking) {
+        backRange(0, cfg.lowRamBytes);
+        // Try to reserve the high range *and* the extension area as
+        // one host block, so hot-added memory extends the same
+        // extent and a single VMM segment can cover [gap end, top).
+        if (cfg.contiguousHostReservation &&
+            cfg.extensionReserve > 0) {
+            auto &buddy = _vmm.hostBuddy();
+            auto fit = buddy.freeIntervals().findFit(
+                high_ram + cfg.extensionReserve,
+                pageBytes(cfg.nestedPageSize));
+            if (fit &&
+                buddy.allocateRange(fit->start,
+                                    high_ram + cfg.extensionReserve)) {
+                backing.add(cfg.ioGapEnd, high_ram, fit->start);
+                mapNestedRange(cfg.ioGapEnd, high_ram, fit->start);
+                extensionHostBase = fit->start + high_ram;
+                ++_stats.counter("contiguous_reservations");
+                return;
+            }
+        }
+        backRange(cfg.ioGapEnd, high_ram);
+    }
+}
+
+Vm::~Vm() = default;
+
+mem::PhysAccessor &
+Vm::guestPhys()
+{
+    return *accessor;
+}
+
+std::vector<Interval>
+Vm::guestRamLayout() const
+{
+    return {Interval{0, cfg.lowRamBytes},
+            Interval{cfg.ioGapEnd,
+                     cfg.ioGapEnd + (cfg.ramBytes - cfg.lowRamBytes)}};
+}
+
+Addr
+Vm::gpaSpan() const
+{
+    return cfg.ioGapEnd + (cfg.ramBytes - cfg.lowRamBytes) +
+           cfg.extensionReserve;
+}
+
+void
+Vm::countExit(const char *reason)
+{
+    ++_stats.counter("vm_exits");
+    ++_stats.counter(std::string("vm_exits_") + reason);
+}
+
+void
+Vm::mapNestedRange(Addr gpa, Addr bytes, Addr hpa)
+{
+    Addr pos = 0;
+    while (pos < bytes) {
+        PageSize size = cfg.nestedPageSize;
+        // Largest granule that alignment and the remainder allow.
+        while (size != PageSize::Size4K &&
+               (!isAligned(gpa + pos, pageBytes(size)) ||
+                !isAligned(hpa + pos, pageBytes(size)) ||
+                pos + pageBytes(size) > bytes)) {
+            size = size == PageSize::Size1G ? PageSize::Size2M
+                                            : PageSize::Size4K;
+        }
+        nestedPt->map(gpa + pos, hpa + pos, size);
+        pos += pageBytes(size);
+    }
+}
+
+void
+Vm::splitNestedLeaf(Addr gpa)
+{
+    auto mapping = nestedPt->translate(gpa);
+    if (!mapping || mapping->size == PageSize::Size4K)
+        return;
+    const Addr leaf_bytes = pageBytes(mapping->size);
+    const Addr gpa_base = alignDown(gpa, leaf_bytes);
+    const Addr hpa_base = mapping->pa - (gpa - gpa_base);
+    nestedPt->unmap(gpa_base, mapping->size);
+    for (Addr off = 0; off < leaf_bytes; off += kPage4K)
+        nestedPt->map(gpa_base + off, hpa_base + off,
+                      PageSize::Size4K);
+    ++_stats.counter("nested_leaf_splits");
+}
+
+void
+Vm::backRange(Addr gpa, Addr bytes)
+{
+    if (bytes == 0)
+        return;
+    auto &buddy = _vmm.hostBuddy();
+    if (cfg.contiguousHostReservation) {
+        // §VI.A: reserve one contiguous host block for the range.
+        auto fit = buddy.freeIntervals().findFit(
+            bytes, pageBytes(cfg.nestedPageSize));
+        if (fit && buddy.allocateRange(fit->start, bytes)) {
+            backing.add(gpa, bytes, fit->start);
+            mapNestedRange(gpa, bytes, fit->start);
+            ++_stats.counter("contiguous_reservations");
+            return;
+        }
+        emv_warn("VM %s: no contiguous host block for %llu bytes; "
+                 "falling back to paged backing",
+                 _name.c_str(),
+                 static_cast<unsigned long long>(bytes));
+    }
+    // Paged backing: block-by-block at the nested granularity.
+    const Addr step = pageBytes(cfg.nestedPageSize);
+    for (Addr pos = 0; pos < bytes; pos += step) {
+        const Addr chunk = std::min(step, bytes - pos);
+        auto block = _vmm.allocHostBlock(
+            chunk == step ? cfg.nestedPageSize : PageSize::Size4K);
+        if (!block)
+            emv_fatal("host out of memory backing VM %s",
+                      _name.c_str());
+        backing.add(gpa + pos, chunk, *block);
+        mapNestedRange(gpa + pos, chunk, *block);
+    }
+}
+
+bool
+Vm::ensureBacked(Addr gpa)
+{
+    if (!_slots.gpaToHva(gpa))
+        return false;  // Outside guest memory (e.g. I/O gap).
+    if (backing.toHpa(gpa))
+        return true;
+
+    // Swapped-out page: the nested fault swaps it back in.
+    const Addr swap_page = alignDown(gpa, kPage4K);
+    if (auto it = swapStore.find(swap_page); it != swapStore.end()) {
+        auto frame = _vmm.allocHostBlock(PageSize::Size4K);
+        if (!frame)
+            return false;
+        for (unsigned i = 0; i < 512; ++i)
+            _vmm.hostMem().write64(*frame + 8ull * i,
+                                   it->second[i]);
+        backing.add(swap_page, kPage4K, *frame);
+        splitNestedLeaf(swap_page);
+        nestedPt->map(swap_page, *frame, PageSize::Size4K);
+        swapStore.erase(it);
+        countExit("swap_in");
+        ++_stats.counter("pages_swapped_in");
+        return true;
+    }
+
+    countExit("nested_fault");
+    const Addr block_bytes = pageBytes(cfg.nestedPageSize);
+    const Addr base = alignDown(gpa, block_bytes);
+
+    // Use the full nested granule only when the whole naturally
+    // aligned block is inside the slot and completely unbacked;
+    // otherwise back just this 4K page.
+    bool whole_block_free = _slots.gpaToHva(base).has_value() &&
+                            _slots.gpaToHva(base + block_bytes - 1)
+                                .has_value();
+    if (whole_block_free) {
+        bool any = false;
+        backing.forEachIn(base, block_bytes,
+                          [&](const Extent &) { any = true; });
+        whole_block_free = !any;
+    }
+
+    if (whole_block_free && cfg.nestedPageSize != PageSize::Size4K) {
+        auto block = _vmm.allocHostBlock(cfg.nestedPageSize);
+        if (block) {
+            backing.add(base, block_bytes, *block);
+            mapNestedRange(base, block_bytes, *block);
+            return true;
+        }
+    }
+    auto frame = _vmm.allocHostBlock(PageSize::Size4K);
+    if (!frame)
+        return false;
+    const Addr page = alignDown(gpa, kPage4K);
+    backing.add(page, kPage4K, *frame);
+    splitNestedLeaf(page);
+    nestedPt->map(page, *frame, PageSize::Size4K);
+    return true;
+}
+
+void
+Vm::repointBacking(Addr gpa, Addr new_hpa)
+{
+    emv_assert(isAligned(gpa, kPage4K) && isAligned(new_hpa, kPage4K),
+               "repointBacking arguments must be 4K aligned");
+    splitNestedLeaf(gpa);
+    if (nestedPt->translate(gpa))
+        nestedPt->unmap(gpa, PageSize::Size4K);
+    nestedPt->map(gpa, new_hpa, PageSize::Size4K);
+    backing.remove(gpa, kPage4K);
+    backing.add(gpa, kPage4K, new_hpa);
+    if (nestedChangeHook)
+        nestedChangeHook(gpa, PageSize::Size4K);
+}
+
+bool
+Vm::swapOutPage(Addr gpa)
+{
+    emv_assert(isAligned(gpa, kPage4K),
+               "swapOutPage needs a 4K-aligned gPA");
+    if (segmentRegion.contains(gpa)) {
+        // Table II: VMM swapping is limited under an active
+        // segment — this frame is part of the linear backing.
+        ++_stats.counter("swap_declined");
+        return false;
+    }
+    auto hpa = backing.toHpa(gpa);
+    if (!hpa)
+        return false;
+
+    auto &contents = swapStore[gpa];
+    for (unsigned i = 0; i < 512; ++i)
+        contents[i] = _vmm.hostMem().read64(*hpa + 8ull * i);
+
+    splitNestedLeaf(gpa);
+    nestedPt->unmap(gpa, PageSize::Size4K);
+    backing.remove(gpa, kPage4K);
+    _vmm.freeHostBlock(*hpa, PageSize::Size4K);
+    if (nestedChangeHook)
+        nestedChangeHook(gpa, PageSize::Size4K);
+    ++_stats.counter("pages_swapped_out");
+    return true;
+}
+
+bool
+Vm::isSwappedOut(Addr gpa) const
+{
+    return swapStore.count(alignDown(gpa, kPage4K)) != 0;
+}
+
+bool
+Vm::backWithFrame(Addr gpa, Addr hpa)
+{
+    emv_assert(isAligned(gpa, kPage4K) && isAligned(hpa, kPage4K),
+               "backWithFrame arguments must be 4K aligned");
+    if (!_slots.gpaToHva(gpa) || backing.toHpa(gpa))
+        return false;
+    backing.add(gpa, kPage4K, hpa);
+    splitNestedLeaf(gpa);
+    nestedPt->map(gpa, hpa, PageSize::Size4K);
+    return true;
+}
+
+std::optional<VmmSegmentInfo>
+Vm::createVmmSegment(Addr min_bytes)
+{
+    auto extent = backing.largestExtent();
+    if (!extent || extent->bytes < min_bytes) {
+        ++_stats.counter("vmm_segment_failures");
+        return std::nullopt;
+    }
+
+    VmmSegmentInfo info;
+    info.regs = segment::SegmentRegs::fromRanges(
+        extent->gpa, extent->bytes, extent->hpa);
+
+    // §V: faulty host frames inside the segment escape to paging —
+    // remap each to healthy memory and report it for the filter.
+    for (Addr bad :
+         _vmm.hostMem().badFramesInRange(extent->hpa, extent->bytes)) {
+        const Addr gpa_bad = extent->gpa + (bad - extent->hpa);
+        auto healthy = _vmm.allocHostBlock(PageSize::Size4K);
+        if (!healthy)
+            emv_fatal("host out of memory remapping faulty frame");
+        _vmm.hostMem().copyFrame(*healthy, bad);
+        splitNestedLeaf(gpa_bad);
+        nestedPt->unmap(gpa_bad, PageSize::Size4K);
+        nestedPt->map(gpa_bad, *healthy, PageSize::Size4K);
+        backing.remove(gpa_bad, kPage4K);
+        backing.add(gpa_bad, kPage4K, *healthy);
+        // Retire the faulty frame: keep it allocated, never reuse.
+        _vmm.markHostUnmovable(bad, kPage4K);
+        info.escapedGpas.push_back(gpa_bad);
+        if (nestedChangeHook)
+            nestedChangeHook(gpa_bad, PageSize::Size4K);
+        ++_stats.counter("escape_remaps");
+    }
+    segmentRegion = Interval{extent->gpa, extent->gpa + extent->bytes};
+    ++_stats.counter("vmm_segments_created");
+    return info;
+}
+
+void
+Vm::reclaimGuestPages(const std::vector<Addr> &gpas)
+{
+    for (Addr gpa : gpas) {
+        emv_assert(isAligned(gpa, kPage4K),
+                   "balloon page %s not 4K aligned",
+                   hexAddr(gpa).c_str());
+        if (segmentRegion.contains(gpa)) {
+            // Table II: ballooning is limited under an active VMM
+            // segment — freeing this frame would puncture the
+            // segment's linear backing, so keep it.
+            ++_stats.counter("balloon_pages_declined");
+            continue;
+        }
+        auto hpa = backing.toHpa(gpa);
+        if (!hpa)
+            continue;  // Already unbacked (extension never touched).
+        splitNestedLeaf(gpa);
+        nestedPt->unmap(gpa, PageSize::Size4K);
+        backing.remove(gpa, kPage4K);
+        _vmm.freeHostBlock(*hpa, PageSize::Size4K);
+        if (nestedChangeHook)
+            nestedChangeHook(gpa, PageSize::Size4K);
+        ++_stats.counter("balloon_pages_reclaimed");
+    }
+    countExit("balloon");
+}
+
+std::optional<Addr>
+Vm::grantExtension(Addr bytes)
+{
+    emv_assert(isAligned(bytes, kPage4K),
+               "extension must be 4K aligned");
+    if (extensionCursor + bytes > cfg.extensionReserve) {
+        ++_stats.counter("extension_failures");
+        return std::nullopt;
+    }
+    const Addr high_ram = cfg.ramBytes - cfg.lowRamBytes;
+    const Addr base = cfg.ioGapEnd + high_ram + extensionCursor;
+    if (extensionHostBase) {
+        // Pre-reserved host memory: back eagerly so the extension
+        // coalesces with the high-RAM extent.
+        const Addr hpa = extensionHostBase + extensionCursor;
+        backing.add(base, bytes, hpa);
+        mapNestedRange(base, bytes, hpa);
+    }
+    extensionCursor += bytes;
+    countExit("hot_add");
+    ++_stats.counter("extensions_granted");
+    _stats.counter("extension_bytes") += bytes;
+    return base;
+}
+
+void
+Vm::reclaimGuestRange(Addr base, Addr bytes)
+{
+    // Free backing of a hot-unplugged range; nested mappings and
+    // host frames both go.
+    std::vector<Extent> doomed;
+    backing.forEachIn(base, bytes,
+                      [&](const Extent &e) { doomed.push_back(e); });
+    for (const auto &e : doomed) {
+        for (Addr off = 0; off < e.bytes; off += kPage4K) {
+            splitNestedLeaf(e.gpa + off);
+            nestedPt->unmap(e.gpa + off, PageSize::Size4K);
+            _vmm.freeHostBlock(e.hpa + off, PageSize::Size4K);
+        }
+        backing.remove(e.gpa, e.bytes);
+        if (nestedChangeHook)
+            nestedChangeHook(e.gpa, PageSize::Size4K);
+    }
+    countExit("hot_remove");
+    _stats.counter("range_reclaimed_bytes") += bytes;
+}
+
+std::optional<std::uint64_t>
+Vm::materializeVmmSegmentBacking(Addr gpa_base, Addr bytes,
+                                 std::uint64_t max_migrations)
+{
+    emv_assert(isAligned(gpa_base, kPage4K) &&
+               isAligned(bytes, kPage4K),
+               "segment backing range must be 4K aligned");
+    auto &buddy = _vmm.hostBuddy();
+    const Addr align = pageBytes(cfg.nestedPageSize);
+    std::uint64_t migrations = 0;
+
+    // Phase B relocates every currently backed page of the target
+    // range; budget that up front.
+    std::uint64_t phase_b_pages = 0;
+    backing.forEachIn(gpa_base, bytes, [&](const Extent &e) {
+        phase_b_pages += e.bytes / kPage4K;
+    });
+    if (max_migrations && phase_b_pages > max_migrations)
+        return std::nullopt;
+
+    // --- Phase A: obtain one contiguous free host run of `bytes`.
+    std::optional<Interval> run;
+    if (auto fit = buddy.freeIntervals().findFit(bytes, align)) {
+        const bool ok = buddy.allocateRange(fit->start, bytes);
+        emv_assert(ok, "free fit vanished");
+        run = Interval{fit->start, fit->start + bytes};
+    } else {
+        // Compact: pick the host window needing the least migration.
+        const auto free_set = buddy.freeIntervals();
+        const auto &unmovable = _vmm.hostUnmovable();
+        std::optional<Addr> best;
+        Addr best_alloc = 0;
+        for (Addr w = 0; w + bytes <= buddy.size(); w += kPage2M) {
+            if (!isAligned(w, align))
+                continue;
+            if (unmovable.intersectsRange(w, w + bytes))
+                continue;
+            const Addr alloc =
+                bytes - free_set.coveredBytesInRange(w, w + bytes);
+            if (!best || alloc < best_alloc) {
+                best = w;
+                best_alloc = alloc;
+            }
+            if (best_alloc == 0)
+                break;
+        }
+        if (!best) {
+            ++_stats.counter("compaction_failures");
+            return std::nullopt;
+        }
+        if (max_migrations &&
+            best_alloc / kPage4K + phase_b_pages > max_migrations) {
+            return std::nullopt;
+        }
+        const Addr wstart = *best;
+        const Addr wend = wstart + bytes;
+
+        // Reserve the window's free pieces.
+        for (const auto &piece : free_set.intervals()) {
+            const Addr lo = std::max(piece.start, wstart);
+            const Addr hi = std::min(piece.end, wend);
+            if (hi > lo) {
+                const bool ok = buddy.allocateRange(lo, hi - lo);
+                emv_assert(ok, "window piece vanished");
+            }
+        }
+
+        // Reverse-map: backed sub-extents (any VM) inside the window.
+        struct Victim
+        {
+            Vm *vm;
+            Addr gpa;
+            Addr bytes;
+            Addr hpa;
+        };
+        std::vector<Victim> victims;
+        Addr victim_bytes = 0;
+        for (Vm *vm : _vmm.vms()) {
+            for (const auto &e : vm->backing.extents()) {
+                const Addr lo = std::max(e.hpa, wstart);
+                const Addr hi = std::min(e.hpa + e.bytes, wend);
+                if (hi > lo) {
+                    victims.push_back({vm, e.gpa + (lo - e.hpa),
+                                       hi - lo, lo});
+                    victim_bytes += hi - lo;
+                }
+            }
+        }
+        if (victim_bytes != best_alloc) {
+            emv_warn("host compaction: %llu unowned bytes in window",
+                     static_cast<unsigned long long>(
+                         best_alloc - victim_bytes));
+            for (const auto &piece : free_set.intervals()) {
+                const Addr lo = std::max(piece.start, wstart);
+                const Addr hi = std::min(piece.end, wend);
+                if (hi > lo)
+                    buddy.freeRange(lo, hi - lo);
+            }
+            ++_stats.counter("compaction_failures");
+            return std::nullopt;
+        }
+
+        // Migrate victims out, 4K at a time.
+        for (const auto &victim : victims) {
+            for (Addr off = 0; off < victim.bytes; off += kPage4K) {
+                const Addr gpa = victim.gpa + off;
+                const Addr old_hpa = victim.hpa + off;
+                auto newh = _vmm.allocHostBlock(PageSize::Size4K);
+                if (!newh)
+                    emv_fatal("host compaction out of targets");
+                _vmm.hostMem().copyFrame(*newh, old_hpa);
+                victim.vm->splitNestedLeaf(gpa);
+                victim.vm->nestedPt->unmap(gpa, PageSize::Size4K);
+                victim.vm->nestedPt->map(gpa, *newh,
+                                         PageSize::Size4K);
+                victim.vm->backing.remove(gpa, kPage4K);
+                victim.vm->backing.add(gpa, kPage4K, *newh);
+                if (victim.vm->nestedChangeHook)
+                    victim.vm->nestedChangeHook(gpa,
+                                                PageSize::Size4K);
+                ++migrations;
+            }
+        }
+        run = Interval{wstart, wend};
+        ++_stats.counter("host_compactions");
+    }
+
+    // --- Phase B: relocate the target gPA range onto the run so it
+    //     is contiguous in both spaces.
+    for (Addr off = 0; off < bytes; off += kPage4K) {
+        const Addr gpa = gpa_base + off;
+        const Addr target = run->start + off;
+        auto cur = backing.toHpa(gpa);
+        if (cur && *cur == target)
+            continue;
+        if (cur) {
+            _vmm.hostMem().copyFrame(target, *cur);
+            _vmm.freeHostBlock(*cur, PageSize::Size4K);
+            ++migrations;
+        }
+        splitNestedLeaf(gpa);
+        if (nestedPt->translate(gpa))
+            nestedPt->unmap(alignDown(gpa, kPage4K),
+                            PageSize::Size4K);
+        nestedPt->map(alignDown(gpa, kPage4K), target,
+                      PageSize::Size4K);
+        backing.remove(gpa, kPage4K);
+        backing.add(gpa, kPage4K, target);
+        if (nestedChangeHook)
+            nestedChangeHook(gpa, PageSize::Size4K);
+    }
+    _stats.counter("pages_migrated") += migrations;
+    return migrations;
+}
+
+} // namespace emv::vmm

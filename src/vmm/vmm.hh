@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The KVM-like hypervisor model.
+ *
+ * Vmm owns host physical memory management (a buddy allocator over
+ * host RAM, with bad-frame retirement).  Each Vm owns: KVM-style
+ * memory slots (Fig. 10), the authoritative gPA→hPA BackingMap, a
+ * real nested page table derived from it, the VMM-segment machinery
+ * (creation over contiguous backing, escape-filter remapping of
+ * faulty host frames), the balloon/hotplug backend used by
+ * self-ballooning (§IV/§VI.C), and host-side compaction that
+ * "slowly converts" fragmented systems to segment-capable ones
+ * (Table III).
+ */
+
+#ifndef EMV_VMM_VMM_HH
+#define EMV_VMM_VMM_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/intervals.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/phys_accessor.hh"
+#include "mem/phys_memory.hh"
+#include "os/balloon.hh"
+#include "paging/page_table.hh"
+#include "segment/direct_segment.hh"
+#include "vmm/backing_map.hh"
+#include "vmm/memory_slots.hh"
+
+namespace emv::vmm {
+
+class Vmm;
+
+/** Per-VM construction parameters. */
+struct VmConfig
+{
+    /** Total guest RAM (split around the I/O gap). */
+    Addr ramBytes = 4 * GiB;
+
+    /** RAM below the I/O gap ([0, lowRamBytes)). */
+    Addr lowRamBytes = 3 * GiB;
+
+    /** I/O gap location (x86-64: [3 GB, 4 GB)). */
+    Addr ioGapStart = 3 * GiB;
+    Addr ioGapEnd = 4 * GiB;
+
+    /** gPA reserve for hot-add (§VI.C pre-extended second slot). */
+    Addr extensionReserve = 0;
+
+    /** Nested page-table mapping granularity (the "+4K/+2M/+1G" of
+     *  the paper's configuration labels). */
+    PageSize nestedPageSize = PageSize::Size4K;
+
+    /** Back all guest RAM at creation (vs on nested faults). */
+    bool eagerBacking = true;
+
+    /** Reserve one contiguous host block per RAM range (§VI.A);
+     *  when false, eager backing allocates page-by-page. */
+    bool contiguousHostReservation = true;
+};
+
+/** VMM segment creation result. */
+struct VmmSegmentInfo
+{
+    segment::SegmentRegs regs;
+    std::vector<Addr> escapedGpas;  //!< Remapped faulty pages (§V).
+};
+
+/** One virtual machine. */
+class Vm : public os::BalloonBackend
+{
+  public:
+    Vm(Vmm &vmm, std::string name, const VmConfig &config);
+    ~Vm() override;
+
+    Vm(const Vm &) = delete;
+    Vm &operator=(const Vm &) = delete;
+
+    /** @{ Guest-visible geometry. */
+    /** Initially present guest RAM ranges (around the I/O gap). */
+    std::vector<Interval> guestRamLayout() const;
+    /** Total gPA span (RAM + gap + extension reserve). */
+    Addr gpaSpan() const;
+    const MemorySlots &slots() const { return _slots; }
+    /** @} */
+
+    /** @{ Backing and nested paging. */
+    /** Physical-memory view handed to the guest OS. */
+    mem::PhysAccessor &guestPhys();
+
+    /** Nested page-table root (host PA), for the MMU. */
+    Addr nestedRoot() const { return nestedPt->root(); }
+
+    /** Nested fault handler: back @p gpa, mapping nestedPageSize.
+     *  @return false when gpa is outside guest memory or the host
+     *  is out of memory. */
+    bool ensureBacked(Addr gpa);
+
+    std::optional<Addr> gpaToHpa(Addr gpa) const
+    { return backing.toHpa(gpa); }
+
+    const BackingMap &backingMap() const { return backing; }
+
+    /** Repoint one 4K gPA page to a different host frame (page
+     *  sharing / COW break).  Does not free the old frame. */
+    void repointBacking(Addr gpa, Addr new_hpa);
+
+    /**
+     * Back one currently unbacked 4K gPA page with a specific
+     * (already allocated) host frame.  Used to model pre-existing
+     * neighbour-VM allocations that fragment the host.
+     */
+    bool backWithFrame(Addr gpa, Addr hpa);
+    /** @} */
+
+    /** @{ VMM segment (Dual/VMM Direct support). */
+    /**
+     * Create a VMM segment over the largest contiguous backing
+     * extent.  Faulty host frames inside it are remapped to healthy
+     * memory and reported for escape-filter insertion.
+     * @param min_bytes Fail if the best extent is smaller.
+     */
+    std::optional<VmmSegmentInfo> createVmmSegment(Addr min_bytes);
+
+    /**
+     * Table III slow path: compact host memory and relocate the
+     * backing of [gpa_base, gpa_base+bytes) onto one contiguous
+     * host run so a VMM segment can cover it.
+     *
+     * @param max_migrations Work budget in pages (0 = unlimited).
+     * @return Pages migrated, or nullopt on failure/over-budget.
+     */
+    std::optional<std::uint64_t>
+    materializeVmmSegmentBacking(Addr gpa_base, Addr bytes,
+                                 std::uint64_t max_migrations = 0);
+    /** @} */
+
+    /** @{ VMM-level swapping (Table II).
+     *
+     * Swapping reclaims a backed frame to a software swap store;
+     * the next nested fault on the gPA swaps it back in.  Pages
+     * inside an active VMM segment are declined — their frames
+     * cannot leave the segment's linear backing, which is exactly
+     * Table II's "limited" VMM swapping under Dual/VMM Direct. */
+    /** Swap one 4K page out. @return false if declined/unbacked. */
+    bool swapOutPage(Addr gpa);
+    /** True if @p gpa currently lives in the swap store. */
+    bool isSwappedOut(Addr gpa) const;
+    /** Pages currently swapped out. */
+    std::size_t swappedPages() const { return swapStore.size(); }
+    /** @} */
+
+    /** gPA range covered by the active VMM segment (empty if no
+     *  segment was created). */
+    const Interval &activeSegmentRegion() const
+    { return segmentRegion; }
+
+    /** @{ Balloon/hotplug backend (guest driver calls these). */
+    void reclaimGuestPages(const std::vector<Addr> &gpas) override;
+    void reclaimGuestRange(Addr base, Addr bytes) override;
+    std::optional<Addr> grantExtension(Addr bytes) override;
+    /** @} */
+
+    /** @{ Accounting and wiring. */
+    std::uint64_t vmExits() const
+    { return _stats.counterValue("vm_exits"); }
+
+    /** Machine layer hook: nested mapping changed for a gPA page. */
+    void setNestedChangeHook(
+        std::function<void(Addr gpa, PageSize size)> hook)
+    { nestedChangeHook = std::move(hook); }
+
+    StatGroup &stats() { return _stats; }
+    const std::string &name() const { return _name; }
+    const VmConfig &config() const { return cfg; }
+    Vmm &vmm() { return _vmm; }
+    /** @} */
+
+  private:
+    friend class Vmm;
+    class HostTableSpace;
+    class GuestPhysAccessor;
+
+    /** Map [gpa, gpa+bytes) -> [hpa, ...) in the nested table using
+     *  the largest granules that alignment allows. */
+    void mapNestedRange(Addr gpa, Addr bytes, Addr hpa);
+
+    /** Replace any large nested leaf covering @p gpa with 4K
+     *  mappings so a single page can be changed. */
+    void splitNestedLeaf(Addr gpa);
+
+    /** Back a range eagerly; fatal on host exhaustion. */
+    void backRange(Addr gpa, Addr bytes);
+
+    void countExit(const char *reason);
+
+    Vmm &_vmm;
+    std::string _name;
+    VmConfig cfg;
+    MemorySlots _slots;
+    BackingMap backing;
+    std::unique_ptr<HostTableSpace> tableSpace;
+    std::unique_ptr<paging::PageTable> nestedPt;
+    std::unique_ptr<GuestPhysAccessor> accessor;
+    Addr extensionCursor = 0;
+    /** Host memory pre-reserved for the extension area when the
+     *  boot reservation was contiguous; 0 = back on demand.  Keeps
+     *  [ioGapEnd, top) one extent so a VMM segment can cover the
+     *  whole post-reclaim high range. */
+    Addr extensionHostBase = 0;
+    /** gPA range of the active VMM segment.  Ballooning inside it
+     *  is declined (Table II: "limited") — harvesting those frames
+     *  would punch holes in the segment's linear backing. */
+    Interval segmentRegion{};
+    /** Swapped-out page contents, keyed by gPA page base. */
+    std::unordered_map<Addr, std::array<std::uint64_t, 512>>
+        swapStore;
+    std::function<void(Addr, PageSize)> nestedChangeHook;
+    StatGroup _stats;
+};
+
+/** The hypervisor: host memory authority + VM factory. */
+class Vmm
+{
+  public:
+    /**
+     * @param host_mem Host physical memory.
+     * @param host_ram_bytes Managed host RAM (<= host_mem.size()).
+     */
+    Vmm(mem::PhysMemory &host_mem, Addr host_ram_bytes);
+
+    Vm &createVm(std::string name, const VmConfig &config);
+
+    /** Allocate a host block, retiring faulty frames. */
+    std::optional<Addr> allocHostBlock(PageSize size);
+    void freeHostBlock(Addr base, PageSize size);
+
+    /** Allocate a 4 KB frame for nested/shadow table nodes from
+     *  the pooled, unmovable table area (clustered low so host
+     *  compaction windows stay clean). */
+    Addr allocTableFrameHost();
+    void freeTableFrameHost(Addr frame);
+
+    /** Reserve a specific host range (must be free). */
+    bool reserveHostRange(Addr base, Addr bytes);
+
+    mem::PhysMemory &hostMem() { return _hostMem; }
+    mem::BuddyAllocator &hostBuddy() { return *_hostBuddy; }
+
+    /** Unmovable host frames (nested/shadow table nodes, retired
+     *  bad frames) — host compaction must avoid these. */
+    void markHostUnmovable(Addr base, Addr bytes)
+    { unmovableSet.insert(base, base + bytes); }
+    void clearHostUnmovable(Addr base, Addr bytes)
+    { unmovableSet.erase(base, base + bytes); }
+    const IntervalSet &hostUnmovable() const { return unmovableSet; }
+
+    std::vector<Vm *> vms();
+    StatGroup &stats() { return _stats; }
+
+  private:
+    mem::PhysMemory &_hostMem;
+    std::unique_ptr<mem::BuddyAllocator> _hostBuddy;
+    IntervalSet unmovableSet;
+    std::vector<Addr> retiredBadFrames;
+    std::vector<Addr> tableFreeList;
+    StatGroup _stats{"vmm"};
+    /** Last member: Vm teardown frees table frames through the
+     *  buddy and unmovable set above. */
+    std::vector<std::unique_ptr<Vm>> _vms;
+};
+
+} // namespace emv::vmm
+
+#endif // EMV_VMM_VMM_HH

@@ -1,0 +1,17 @@
+/** @file graph500 workload factory (internal; use makeWorkload()). */
+
+#ifndef EMV_WORKLOAD_GRAPH500_HH
+#define EMV_WORKLOAD_GRAPH500_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+
+std::unique_ptr<Workload> makeGraph500(std::uint64_t seed,
+                                       double scale);
+
+} // namespace emv::workload
+
+#endif // EMV_WORKLOAD_GRAPH500_HH

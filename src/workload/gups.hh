@@ -1,0 +1,16 @@
+/** @file GUPS workload factory (internal; use makeWorkload()). */
+
+#ifndef EMV_WORKLOAD_GUPS_HH
+#define EMV_WORKLOAD_GUPS_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+
+std::unique_ptr<Workload> makeGups(std::uint64_t seed, double scale);
+
+} // namespace emv::workload
+
+#endif // EMV_WORKLOAD_GUPS_HH

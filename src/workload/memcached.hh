@@ -1,0 +1,23 @@
+/** @file memcached workload factory (internal; use makeWorkload()). */
+
+#ifndef EMV_WORKLOAD_MEMCACHED_HH
+#define EMV_WORKLOAD_MEMCACHED_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+
+/**
+ * @param churn_period Emit one 2M slab Remap every this many ops
+ *        (0 disables churn).
+ */
+std::unique_ptr<Workload> makeMemcached(std::uint64_t seed,
+                                        double scale,
+                                        std::uint64_t churn_period =
+                                            250000);
+
+} // namespace emv::workload
+
+#endif // EMV_WORKLOAD_MEMCACHED_HH

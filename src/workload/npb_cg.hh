@@ -1,0 +1,16 @@
+/** @file NPB:CG workload factory (internal; use makeWorkload()). */
+
+#ifndef EMV_WORKLOAD_NPB_CG_HH
+#define EMV_WORKLOAD_NPB_CG_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+
+std::unique_ptr<Workload> makeNpbCg(std::uint64_t seed, double scale);
+
+} // namespace emv::workload
+
+#endif // EMV_WORKLOAD_NPB_CG_HH

@@ -1,0 +1,19 @@
+/** @file PARSEC workload factories (internal; use makeWorkload()). */
+
+#ifndef EMV_WORKLOAD_PARSEC_HH
+#define EMV_WORKLOAD_PARSEC_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+
+std::unique_ptr<Workload> makeCanneal(std::uint64_t seed,
+                                      double scale);
+std::unique_ptr<Workload> makeStreamcluster(std::uint64_t seed,
+                                            double scale);
+
+} // namespace emv::workload
+
+#endif // EMV_WORKLOAD_PARSEC_HH

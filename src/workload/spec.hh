@@ -1,0 +1,23 @@
+/** @file SPEC workload factories (internal; use makeWorkload()). */
+
+#ifndef EMV_WORKLOAD_SPEC_HH
+#define EMV_WORKLOAD_SPEC_HH
+
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+
+std::unique_ptr<Workload> makeCactusAdm(std::uint64_t seed,
+                                        double scale);
+std::unique_ptr<Workload> makeGemsFdtd(std::uint64_t seed,
+                                       double scale);
+std::unique_ptr<Workload> makeMcf(std::uint64_t seed, double scale);
+std::unique_ptr<Workload> makeOmnetpp(std::uint64_t seed, double scale,
+                                      std::uint64_t churn_period =
+                                          60000);
+
+} // namespace emv::workload
+
+#endif // EMV_WORKLOAD_SPEC_HH

@@ -1,0 +1,190 @@
+/** @file Unit tests for the interval set. */
+
+#include <gtest/gtest.h>
+
+#include "common/intervals.hh"
+#include "common/rng.hh"
+
+namespace emv {
+namespace {
+
+TEST(IntervalSetTest, InsertAndContains)
+{
+    IntervalSet set;
+    set.insert(10, 20);
+    EXPECT_TRUE(set.contains(10));
+    EXPECT_TRUE(set.contains(19));
+    EXPECT_FALSE(set.contains(20));
+    EXPECT_FALSE(set.contains(9));
+}
+
+TEST(IntervalSetTest, CoalescesAdjacent)
+{
+    IntervalSet set;
+    set.insert(0, 10);
+    set.insert(10, 20);
+    EXPECT_EQ(set.count(), 1u);
+    EXPECT_TRUE(set.containsRange(0, 20));
+}
+
+TEST(IntervalSetTest, CoalescesOverlapping)
+{
+    IntervalSet set;
+    set.insert(0, 15);
+    set.insert(10, 30);
+    set.insert(25, 40);
+    EXPECT_EQ(set.count(), 1u);
+    EXPECT_EQ(set.totalLength(), 40u);
+}
+
+TEST(IntervalSetTest, InsertSwallowsExisting)
+{
+    IntervalSet set;
+    set.insert(10, 12);
+    set.insert(20, 22);
+    set.insert(0, 100);
+    EXPECT_EQ(set.count(), 1u);
+    EXPECT_EQ(set.totalLength(), 100u);
+}
+
+TEST(IntervalSetTest, EraseSplits)
+{
+    IntervalSet set;
+    set.insert(0, 100);
+    set.erase(40, 60);
+    EXPECT_EQ(set.count(), 2u);
+    EXPECT_TRUE(set.containsRange(0, 40));
+    EXPECT_TRUE(set.containsRange(60, 100));
+    EXPECT_FALSE(set.contains(50));
+}
+
+TEST(IntervalSetTest, EraseAcrossIntervals)
+{
+    IntervalSet set;
+    set.insert(0, 10);
+    set.insert(20, 30);
+    set.insert(40, 50);
+    set.erase(5, 45);
+    EXPECT_EQ(set.totalLength(), 10u);
+    EXPECT_TRUE(set.containsRange(0, 5));
+    EXPECT_TRUE(set.containsRange(45, 50));
+}
+
+TEST(IntervalSetTest, EmptyOperationsAreNoops)
+{
+    IntervalSet set;
+    set.insert(5, 5);
+    set.erase(1, 1);
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, Largest)
+{
+    IntervalSet set;
+    EXPECT_FALSE(set.largest().has_value());
+    set.insert(0, 10);
+    set.insert(100, 150);
+    set.insert(200, 220);
+    auto largest = set.largest();
+    ASSERT_TRUE(largest.has_value());
+    EXPECT_EQ(largest->start, 100u);
+    EXPECT_EQ(largest->length(), 50u);
+}
+
+TEST(IntervalSetTest, FindFitBestFit)
+{
+    IntervalSet set;
+    set.insert(0, 0x10000);        // 64K
+    set.insert(0x100000, 0x102000);  // 8K — best fit for 8K.
+    auto fit = set.findFit(0x2000, 0x1000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x100000u);
+}
+
+TEST(IntervalSetTest, FindFitRespectsAlignment)
+{
+    IntervalSet set;
+    set.insert(0x1800, 0x4800);
+    auto fit = set.findFit(0x1000, 0x1000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start % 0x1000, 0u);
+    EXPECT_GE(fit->start, 0x1800u);
+}
+
+TEST(IntervalSetTest, FindFitFailsWhenTooSmall)
+{
+    IntervalSet set;
+    set.insert(0, 0x1000);
+    EXPECT_FALSE(set.findFit(0x2000).has_value());
+}
+
+TEST(IntervalSetTest, FindFitHighPrefersTop)
+{
+    IntervalSet set;
+    set.insert(0, 0x100000);
+    set.insert(0x400000, 0x500000);
+    auto fit = set.findFitHigh(0x1000, 0x1000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x4ff000u);
+}
+
+TEST(IntervalSetTest, FindFitHighSkipsSmallTopInterval)
+{
+    IntervalSet set;
+    set.insert(0, 0x100000);
+    set.insert(0x400000, 0x402000);  // Too small for 16K.
+    auto fit = set.findFitHigh(0x4000, 0x1000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x100000u - 0x4000u);
+}
+
+TEST(IntervalSetTest, IntersectsRange)
+{
+    IntervalSet set;
+    set.insert(10, 20);
+    EXPECT_TRUE(set.intersectsRange(15, 30));
+    EXPECT_TRUE(set.intersectsRange(0, 11));
+    EXPECT_FALSE(set.intersectsRange(20, 30));
+    EXPECT_FALSE(set.intersectsRange(0, 10));
+}
+
+TEST(IntervalSetTest, CoveredBytesInRange)
+{
+    IntervalSet set;
+    set.insert(0, 10);
+    set.insert(20, 30);
+    EXPECT_EQ(set.coveredBytesInRange(0, 30), 20u);
+    EXPECT_EQ(set.coveredBytesInRange(5, 25), 10u);
+    EXPECT_EQ(set.coveredBytesInRange(10, 20), 0u);
+}
+
+TEST(IntervalSetTest, RandomizedInsertEraseConsistency)
+{
+    // Property: the set always equals a reference bitmap.
+    Rng rng(77);
+    IntervalSet set;
+    std::vector<bool> ref(512, false);
+    for (int step = 0; step < 2000; ++step) {
+        const Addr a = rng.nextBelow(512);
+        const Addr b = a + 1 + rng.nextBelow(64);
+        const Addr hi = std::min<Addr>(b, 512);
+        if (rng.nextBool(0.5)) {
+            set.insert(a, hi);
+            for (Addr i = a; i < hi; ++i)
+                ref[i] = true;
+        } else {
+            set.erase(a, hi);
+            for (Addr i = a; i < hi; ++i)
+                ref[i] = false;
+        }
+    }
+    for (Addr i = 0; i < 512; ++i)
+        ASSERT_EQ(set.contains(i), ref[i]) << "at " << i;
+    Addr expect_total = 0;
+    for (bool b : ref)
+        expect_total += b ? 1 : 0;
+    EXPECT_EQ(set.totalLength(), expect_total);
+}
+
+} // namespace
+} // namespace emv

@@ -1,0 +1,67 @@
+/** @file Unit tests for placement-directed interval fits. */
+
+#include <gtest/gtest.h>
+
+#include "common/intervals.hh"
+
+namespace emv {
+namespace {
+
+TEST(FindFitLowAboveTest, PrefersLowestAtOrAboveMinStart)
+{
+    IntervalSet set;
+    set.insert(0, 0x100000);
+    set.insert(0x400000, 0x500000);
+    set.insert(0x800000, 0x900000);
+    auto fit = set.findFitLowAbove(0x1000, 0x1000, 0x200000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x400000u);
+}
+
+TEST(FindFitLowAboveTest, PlacesInsideStraddlingInterval)
+{
+    IntervalSet set;
+    set.insert(0, 0x800000);
+    auto fit = set.findFitLowAbove(0x1000, 0x1000, 0x300000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x300000u);
+}
+
+TEST(FindFitLowAboveTest, FallsBackBelowMinStart)
+{
+    IntervalSet set;
+    set.insert(0x10000, 0x20000);
+    auto fit = set.findFitLowAbove(0x1000, 0x1000, 0x40000000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x10000u);
+}
+
+TEST(FindFitLowAboveTest, RespectsAlignment)
+{
+    IntervalSet set;
+    set.insert(0x1800, 0x10000);
+    auto fit = set.findFitLowAbove(0x1000, 0x4000, 0);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x4000u);
+}
+
+TEST(FindFitLowAboveTest, NothingFitsReturnsNullopt)
+{
+    IntervalSet set;
+    set.insert(0, 0x1000);
+    EXPECT_FALSE(
+        set.findFitLowAbove(0x2000, 0x1000, 0).has_value());
+}
+
+TEST(FindFitLowAboveTest, MinStartZeroIsPlainLowestFit)
+{
+    IntervalSet set;
+    set.insert(0x5000, 0x7000);
+    set.insert(0x9000, 0xb000);
+    auto fit = set.findFitLowAbove(0x1000, 0x1000, 0);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(fit->start, 0x5000u);
+}
+
+} // namespace
+} // namespace emv

@@ -1,0 +1,129 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace emv {
+namespace {
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull,
+                                1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBelowZeroBound)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.nextBelow(0), 0u);
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.nextRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // All four values appear.
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, BoolProbability)
+{
+    Rng rng(13);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, UniformCoversRange)
+{
+    Rng rng(17);
+    std::vector<int> buckets(16, 0);
+    const int n = 32000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextBelow(16)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, n / 16, n / 64);
+}
+
+TEST(RngTest, ZipfInBounds)
+{
+    Rng rng(19);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.nextZipf(1000, 0.99), 1000u);
+}
+
+TEST(RngTest, ZipfIsSkewed)
+{
+    Rng rng(23);
+    const std::uint64_t n = 10000;
+    std::uint64_t top_decile = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        top_decile += rng.nextZipf(n, 0.99) < n / 10 ? 1 : 0;
+    // Zipf(0.99): the top 10% of ranks should get well over half
+    // the draws; uniform would get 10%.
+    EXPECT_GT(top_decile, static_cast<std::uint64_t>(draws) / 2);
+}
+
+TEST(RngTest, ZipfRankZeroMostPopular)
+{
+    Rng rng(29);
+    std::uint64_t zero = 0, mid = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const auto r = rng.nextZipf(1000, 0.99);
+        zero += r == 0 ? 1 : 0;
+        mid += r == 500 ? 1 : 0;
+    }
+    EXPECT_GT(zero, 10 * (mid + 1));
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(splitMix64(s1), splitMix64(s2));
+}
+
+} // namespace
+} // namespace emv

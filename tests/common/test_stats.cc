@@ -1,0 +1,129 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace emv {
+namespace {
+
+TEST(CounterTest, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarTest, AccumulateAndSet)
+{
+    Scalar s;
+    s += 1.5;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(7.0);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(DistributionTest, Moments)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(DistributionTest, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(StatGroupTest, StableReferences)
+{
+    StatGroup group("g");
+    Counter &a = group.counter("a");
+    // Adding more counters must not invalidate earlier references
+    // (the MMU binds counter pointers at construction).
+    for (int i = 0; i < 100; ++i)
+        group.counter("x" + std::to_string(i));
+    ++a;
+    EXPECT_EQ(group.counterValue("a"), 1u);
+}
+
+TEST(StatGroupTest, UnknownReadsZero)
+{
+    StatGroup group("g");
+    EXPECT_EQ(group.counterValue("nope"), 0u);
+    EXPECT_DOUBLE_EQ(group.scalarValue("nope"), 0.0);
+}
+
+TEST(StatGroupTest, ResetAll)
+{
+    StatGroup group("g");
+    ++group.counter("c");
+    group.scalar("s") += 2.0;
+    group.distribution("d").sample(1.0);
+    group.resetAll();
+    EXPECT_EQ(group.counterValue("c"), 0u);
+    EXPECT_DOUBLE_EQ(group.scalarValue("s"), 0.0);
+    EXPECT_EQ(group.distribution("d").count(), 0u);
+}
+
+TEST(StatGroupTest, DumpFormat)
+{
+    StatGroup group("mmu");
+    group.counter("walks") += 3;
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("mmu.walks 3"), std::string::npos);
+}
+
+TEST(Confidence95Test, EmptyAndSingle)
+{
+    EXPECT_DOUBLE_EQ(confidence95({}).mean, 0.0);
+    auto ci = confidence95({5.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+    EXPECT_DOUBLE_EQ(ci.halfWidth, 0.0);
+}
+
+TEST(Confidence95Test, ConstantSamplesHaveZeroWidth)
+{
+    auto ci = confidence95({3.0, 3.0, 3.0, 3.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+    EXPECT_DOUBLE_EQ(ci.halfWidth, 0.0);
+}
+
+TEST(Confidence95Test, KnownTwoSample)
+{
+    // mean 1.5, sd = sqrt(0.5), sem = 0.5, t(1 df) = 12.706.
+    auto ci = confidence95({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 1.5);
+    EXPECT_NEAR(ci.halfWidth, 12.706 * 0.5, 1e-6);
+}
+
+TEST(Confidence95Test, WidthShrinksWithSamples)
+{
+    std::vector<double> few, many;
+    for (int i = 0; i < 5; ++i)
+        few.push_back(i % 2 ? 1.0 : 2.0);
+    for (int i = 0; i < 30; ++i)
+        many.push_back(i % 2 ? 1.0 : 2.0);
+    EXPECT_GT(confidence95(few).halfWidth,
+              confidence95(many).halfWidth);
+}
+
+} // namespace
+} // namespace emv

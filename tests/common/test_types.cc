@@ -1,0 +1,106 @@
+/** @file Unit tests for address types and alignment helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace emv {
+namespace {
+
+TEST(PageSizeTest, Bytes)
+{
+    EXPECT_EQ(pageBytes(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Size2M), 2u * 1024 * 1024);
+    EXPECT_EQ(pageBytes(PageSize::Size1G), 1024ull * 1024 * 1024);
+}
+
+TEST(PageSizeTest, Shifts)
+{
+    EXPECT_EQ(pageShift(PageSize::Size4K), 12u);
+    EXPECT_EQ(pageShift(PageSize::Size2M), 21u);
+    EXPECT_EQ(pageShift(PageSize::Size1G), 30u);
+}
+
+TEST(PageSizeTest, Names)
+{
+    EXPECT_STREQ(pageSizeName(PageSize::Size4K), "4K");
+    EXPECT_STREQ(pageSizeName(PageSize::Size2M), "2M");
+    EXPECT_STREQ(pageSizeName(PageSize::Size1G), "1G");
+}
+
+TEST(PageSizeTest, OrderingMatchesSize)
+{
+    // std::min on PageSize must pick the smaller granule (the 2D
+    // walker relies on this for combined TLB-entry sizes).
+    EXPECT_LT(PageSize::Size4K, PageSize::Size2M);
+    EXPECT_LT(PageSize::Size2M, PageSize::Size1G);
+}
+
+TEST(AlignTest, AlignDown)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(0xfff, 0x1000), 0u);
+}
+
+TEST(AlignTest, AlignUp)
+{
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0, 0x1000), 0u);
+}
+
+TEST(AlignTest, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0x200000, kPage2M));
+    EXPECT_FALSE(isAligned(0x201000, kPage2M));
+    EXPECT_TRUE(isAligned(0, kPage1G));
+}
+
+TEST(TypedAddrTest, DistinctTypes)
+{
+    static_assert(!std::is_convertible_v<GuestVirtAddr,
+                                         GuestPhysAddr>);
+    static_assert(!std::is_convertible_v<GuestPhysAddr,
+                                         HostPhysAddr>);
+    static_assert(!std::is_convertible_v<Addr, GuestVirtAddr>);
+}
+
+TEST(TypedAddrTest, Arithmetic)
+{
+    GuestVirtAddr va(0x1000);
+    EXPECT_EQ((va + 0x234).value(), 0x1234u);
+    EXPECT_EQ((va - 0x800).value(), 0x800u);
+    EXPECT_EQ(GuestVirtAddr(0x3000) - va, 0x2000u);
+}
+
+TEST(TypedAddrTest, PageHelpers)
+{
+    GuestVirtAddr va(0x12345678);
+    EXPECT_EQ(va.pageBase(PageSize::Size4K).value(), 0x12345000u);
+    EXPECT_EQ(va.pageOffset(PageSize::Size4K), 0x678u);
+    EXPECT_EQ(va.pageBase(PageSize::Size2M).value(), 0x12200000u);
+}
+
+TEST(TypedAddrTest, Comparisons)
+{
+    EXPECT_LT(GuestVirtAddr(1), GuestVirtAddr(2));
+    EXPECT_EQ(HostPhysAddr(7), HostPhysAddr(7));
+    EXPECT_NE(GuestPhysAddr(1), GuestPhysAddr(2));
+}
+
+TEST(TypedAddrTest, Hashable)
+{
+    std::hash<GuestVirtAddr> hasher;
+    EXPECT_EQ(hasher(GuestVirtAddr(42)),
+              hasher(GuestVirtAddr(42)));
+}
+
+TEST(HexAddrTest, Formats)
+{
+    EXPECT_EQ(hexAddr(0), "0x0");
+    EXPECT_EQ(hexAddr(0xdeadbeef), "0xdeadbeef");
+}
+
+} // namespace
+} // namespace emv

@@ -1,0 +1,152 @@
+/** @file
+ * Guest context switching: per-process page tables and guest
+ * segment registers (§III.A/C: "the guest segment register values
+ * are set per guest process and must be set during guest OS context
+ * switches").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmu.hh"
+#include "os/guest_os.hh"
+#include "vmm/vmm.hh"
+
+namespace emv::core {
+namespace {
+
+class ContextSwitchTest : public ::testing::Test
+{
+  protected:
+    static constexpr Addr kHostRam = 1 * GiB;
+
+    ContextSwitchTest()
+        : host(kHostRam), vmm(host, kHostRam)
+    {
+        vmm::VmConfig cfg;
+        cfg.ramBytes = 256 * MiB;
+        cfg.lowRamBytes = 64 * MiB;
+        cfg.ioGapStart = 64 * MiB;
+        cfg.ioGapEnd = 96 * MiB;
+        vm = &vmm.createVm("vm", cfg);
+        os = std::make_unique<os::GuestOs>(
+            vm->guestPhys(), vm->gpaSpan(), vm->guestRamLayout());
+        mmu = std::make_unique<Mmu>(host);
+        mmu->setNestedRoot(vm->nestedRoot());
+    }
+
+    /** Program the MMU for a process (what the guest OS does on a
+     *  context switch). */
+    void
+    switchTo(os::Process &proc, Mode mode)
+    {
+        mmu->setMode(mode);
+        mmu->setGuestRoot(proc.pageTable().root());
+        mmu->setGuestSegment(proc.guestSegment());
+        mmu->flushGuestContext();
+    }
+
+    mem::PhysMemory host;
+    vmm::Vmm vmm;
+    vmm::Vm *vm;
+    std::unique_ptr<os::GuestOs> os;
+    std::unique_ptr<Mmu> mmu;
+};
+
+TEST_F(ContextSwitchTest, ProcessesHaveIsolatedMappings)
+{
+    auto &p1 = os->createProcess();
+    auto &p2 = os->createProcess();
+    os->defineRegion(p1, "heap", 1 * GiB, 4 * MiB,
+                     PageSize::Size4K);
+    os->defineRegion(p2, "heap", 1 * GiB, 4 * MiB,
+                     PageSize::Size4K);
+    os->populateRange(p1, 1 * GiB, 4 * MiB);
+    os->populateRange(p2, 1 * GiB, 4 * MiB);
+
+    switchTo(p1, Mode::BaseVirtualized);
+    auto r1 = mmu->translate(1 * GiB + 0x123);
+    ASSERT_TRUE(r1.ok);
+
+    switchTo(p2, Mode::BaseVirtualized);
+    auto r2 = mmu->translate(1 * GiB + 0x123);
+    ASSERT_TRUE(r2.ok);
+
+    // Same gVA, different processes, different host frames.
+    EXPECT_NE(r1.hpa, r2.hpa);
+}
+
+TEST_F(ContextSwitchTest, SwitchFlushesGuestTlbEntries)
+{
+    auto &p1 = os->createProcess();
+    auto &p2 = os->createProcess();
+    os->defineRegion(p1, "heap", 1 * GiB, 4 * MiB,
+                     PageSize::Size4K);
+    os->defineRegion(p2, "heap", 1 * GiB, 4 * MiB,
+                     PageSize::Size4K);
+    os->populateRange(p1, 1 * GiB, 4 * MiB);
+    os->populateRange(p2, 1 * GiB, 4 * MiB);
+
+    switchTo(p1, Mode::BaseVirtualized);
+    mmu->translate(1 * GiB);
+    EXPECT_EQ(mmu->translate(1 * GiB).path, TranslatePath::L1Hit);
+
+    // Without the flush, p2 would hit p1's stale entry.
+    switchTo(p2, Mode::BaseVirtualized);
+    auto result = mmu->translate(1 * GiB);
+    EXPECT_EQ(result.path, TranslatePath::Walk);
+    auto check = p2.pageTable().translate(1 * GiB);
+    ASSERT_TRUE(check.has_value());
+    EXPECT_EQ(result.hpa, vm->gpaToHpa(check->pa).value());
+}
+
+TEST_F(ContextSwitchTest, PerProcessGuestSegments)
+{
+    // One big-memory process with a guest segment, one ordinary
+    // process without (Guest Direct is per-process).
+    auto &big = os->createProcess();
+    os->defineRegion(big, "heap", 1 * GiB, 8 * MiB,
+                     PageSize::Size4K, /*primary=*/true);
+    ASSERT_TRUE(os->createGuestSegment(big).has_value());
+
+    auto &small = os->createProcess();
+    os->defineRegion(small, "heap", 1 * GiB, 2 * MiB,
+                     PageSize::Size4K);
+    os->populateRange(small, 1 * GiB, 2 * MiB);
+
+    switchTo(big, Mode::GuestDirect);
+    auto seg_result = mmu->translate(1 * GiB + 0x5000);
+    ASSERT_TRUE(seg_result.ok);
+    EXPECT_EQ(mmu->stats().counterValue("cat_guest_only"), 1u);
+
+    switchTo(small, Mode::GuestDirect);
+    // small has no segment: its registers are disabled, so the
+    // same gVA goes through the 2D walk instead.
+    EXPECT_FALSE(small.guestSegment().enabled());
+    auto walk_result = mmu->translate(1 * GiB + 0x5000);
+    ASSERT_TRUE(walk_result.ok);
+    EXPECT_EQ(mmu->stats().counterValue("cat_neither"), 1u);
+    EXPECT_NE(walk_result.hpa, seg_result.hpa);
+}
+
+TEST_F(ContextSwitchTest, NestedStateSurvivesGuestSwitch)
+{
+    // A guest context switch must not flush nested (gPA->hPA)
+    // entries — those belong to the VM, not the process.
+    auto &p1 = os->createProcess();
+    os->defineRegion(p1, "heap", 1 * GiB, 4 * MiB,
+                     PageSize::Size4K);
+    os->populateRange(p1, 1 * GiB, 4 * MiB);
+    switchTo(p1, Mode::BaseVirtualized);
+    mmu->translate(1 * GiB);
+    const auto nested_before =
+        mmu->tlbs().l2().occupancy(tlb::EntryKind::Nested);
+    ASSERT_GT(nested_before, 0u);
+
+    mmu->flushGuestContext();
+    EXPECT_EQ(mmu->tlbs().l2().occupancy(tlb::EntryKind::Nested),
+              nested_before);
+    EXPECT_EQ(mmu->tlbs().l2().occupancy(tlb::EntryKind::Guest), 0u);
+}
+
+} // namespace
+} // namespace emv::core

@@ -1,0 +1,121 @@
+/** @file Unit tests for the Table IV linear models. */
+
+#include <gtest/gtest.h>
+
+#include "core/linear_model.hh"
+
+namespace emv::core {
+namespace {
+
+ModelInputs
+baseInputs()
+{
+    ModelInputs in;
+    in.cyclesPerMissNative = 100.0;
+    in.cyclesPerMissVirtualized = 240.0;  // The paper's ~2.4x.
+    in.missesNative = 1e6;
+    return in;
+}
+
+TEST(LinearModelTest, DirectSegmentFullCoverageIsFree)
+{
+    auto in = baseInputs();
+    in.fractionDirectSegment = 1.0;
+    EXPECT_DOUBLE_EQ(predictDirectSegmentCycles(in), 0.0);
+}
+
+TEST(LinearModelTest, DirectSegmentZeroCoverageIsNative)
+{
+    auto in = baseInputs();
+    in.fractionDirectSegment = 0.0;
+    EXPECT_DOUBLE_EQ(predictDirectSegmentCycles(in), 100.0 * 1e6);
+}
+
+TEST(LinearModelTest, DirectSegmentPartial)
+{
+    auto in = baseInputs();
+    in.fractionDirectSegment = 0.99;  // Basu et al.'s 99%.
+    EXPECT_NEAR(predictDirectSegmentCycles(in), 0.01 * 100.0 * 1e6,
+                1.0);
+}
+
+TEST(LinearModelTest, VmmDirectUsesDelta5)
+{
+    auto in = baseInputs();
+    in.fractionVmmOnly = 1.0;
+    EXPECT_DOUBLE_EQ(predictVmmDirectCycles(in),
+                     (100.0 + 5.0) * 1e6);
+}
+
+TEST(LinearModelTest, GuestDirectUsesDelta1)
+{
+    auto in = baseInputs();
+    in.fractionGuestOnly = 1.0;
+    EXPECT_DOUBLE_EQ(predictGuestDirectCycles(in),
+                     (100.0 + 1.0) * 1e6);
+}
+
+TEST(LinearModelTest, ZeroCoverageDegradesToVirtualized)
+{
+    auto in = baseInputs();
+    EXPECT_DOUBLE_EQ(predictVmmDirectCycles(in), 240.0 * 1e6);
+    EXPECT_DOUBLE_EQ(predictGuestDirectCycles(in), 240.0 * 1e6);
+    EXPECT_DOUBLE_EQ(predictDualDirectCycles(in), 240.0 * 1e6);
+}
+
+TEST(LinearModelTest, DualDirectBothFractionIsFree)
+{
+    auto in = baseInputs();
+    in.fractionBoth = 1.0;
+    // Misses covered by both segments cost nothing in Table IV.
+    EXPECT_DOUBLE_EQ(predictDualDirectCycles(in), 0.0);
+}
+
+TEST(LinearModelTest, DualDirectMixesAllFourTerms)
+{
+    auto in = baseInputs();
+    in.fractionBoth = 0.90;
+    in.fractionVmmOnly = 0.04;
+    in.fractionGuestOnly = 0.03;
+    const double expect =
+        (105.0 * 0.04 + 101.0 * 0.03 + 240.0 * 0.03) * 1e6;
+    EXPECT_NEAR(predictDualDirectCycles(in), expect, 1.0);
+}
+
+TEST(LinearModelTest, OrderingDualBeatsSinglesBeatsBase)
+{
+    auto in = baseInputs();
+    in.fractionBoth = 0.9;
+    in.fractionVmmOnly = 0.05;
+    in.fractionGuestOnly = 0.04;
+    const double dd = predictDualDirectCycles(in);
+
+    auto vd_in = baseInputs();
+    vd_in.fractionVmmOnly = 0.95;
+    const double vd = predictVmmDirectCycles(vd_in);
+
+    const double base = 240.0 * 1e6;
+    EXPECT_LT(dd, vd);
+    EXPECT_LT(vd, base);
+}
+
+TEST(LinearModelTest, MonotoneInCoverage)
+{
+    double last = 1e18;
+    for (double f = 0.0; f <= 1.0; f += 0.1) {
+        auto in = baseInputs();
+        in.fractionVmmOnly = f;
+        const double cycles = predictVmmDirectCycles(in);
+        EXPECT_LT(cycles, last + 1e-9);
+        last = cycles;
+    }
+}
+
+TEST(LinearModelTest, DeltasMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(kDeltaVmmDirect, 5.0);
+    EXPECT_DOUBLE_EQ(kDeltaGuestDirect, 1.0);
+}
+
+} // namespace
+} // namespace emv::core

@@ -1,0 +1,96 @@
+/** @file Unit tests for mode traits (Table II). */
+
+#include <gtest/gtest.h>
+
+#include "core/mode.hh"
+
+namespace emv::core {
+namespace {
+
+TEST(ModeTest, WalkDimensions)
+{
+    EXPECT_EQ(modeTraits(Mode::BaseVirtualized).walkDims, 2);
+    EXPECT_EQ(modeTraits(Mode::DualDirect).walkDims, 0);
+    EXPECT_EQ(modeTraits(Mode::VmmDirect).walkDims, 1);
+    EXPECT_EQ(modeTraits(Mode::GuestDirect).walkDims, 1);
+}
+
+TEST(ModeTest, WalkRefsMatchTableII)
+{
+    EXPECT_EQ(modeTraits(Mode::BaseVirtualized).walkRefs, 24);
+    EXPECT_EQ(modeTraits(Mode::DualDirect).walkRefs, 0);
+    EXPECT_EQ(modeTraits(Mode::VmmDirect).walkRefs, 4);
+    EXPECT_EQ(modeTraits(Mode::GuestDirect).walkRefs, 4);
+}
+
+TEST(ModeTest, BaseBoundChecksMatchTableII)
+{
+    EXPECT_EQ(modeTraits(Mode::BaseVirtualized).baseBoundChecks, 0);
+    EXPECT_EQ(modeTraits(Mode::DualDirect).baseBoundChecks, 1);
+    EXPECT_EQ(modeTraits(Mode::VmmDirect).baseBoundChecks, 5);
+    EXPECT_EQ(modeTraits(Mode::GuestDirect).baseBoundChecks, 1);
+}
+
+TEST(ModeTest, ModificationRequirements)
+{
+    // Table II: who needs changing.
+    EXPECT_FALSE(modeTraits(Mode::BaseVirtualized).guestOsChanges);
+    EXPECT_FALSE(modeTraits(Mode::BaseVirtualized).vmmChanges);
+    EXPECT_TRUE(modeTraits(Mode::DualDirect).guestOsChanges);
+    EXPECT_TRUE(modeTraits(Mode::DualDirect).vmmChanges);
+    EXPECT_FALSE(modeTraits(Mode::VmmDirect).guestOsChanges);
+    EXPECT_TRUE(modeTraits(Mode::VmmDirect).vmmChanges);
+    EXPECT_TRUE(modeTraits(Mode::GuestDirect).guestOsChanges);
+    EXPECT_FALSE(modeTraits(Mode::GuestDirect).vmmChanges);
+}
+
+TEST(ModeTest, ApplicationCategories)
+{
+    EXPECT_STREQ(modeTraits(Mode::VmmDirect).appCategory, "any");
+    EXPECT_STREQ(modeTraits(Mode::DualDirect).appCategory,
+                 "big memory");
+    EXPECT_STREQ(modeTraits(Mode::GuestDirect).appCategory,
+                 "big memory");
+}
+
+TEST(ModeTest, ServiceSupport)
+{
+    // Guest Direct keeps nested paging: sharing/ballooning stay
+    // unrestricted; VMM Direct gives them up.
+    EXPECT_EQ(modeTraits(Mode::GuestDirect).pageSharing,
+              Support::Unrestricted);
+    EXPECT_EQ(modeTraits(Mode::VmmDirect).pageSharing,
+              Support::Limited);
+    EXPECT_EQ(modeTraits(Mode::VmmDirect).guestSwapping,
+              Support::Unrestricted);
+    EXPECT_EQ(modeTraits(Mode::DualDirect).ballooning,
+              Support::Limited);
+}
+
+TEST(ModeTest, Predicates)
+{
+    EXPECT_FALSE(isVirtualized(Mode::Native));
+    EXPECT_FALSE(isVirtualized(Mode::NativeDirect));
+    EXPECT_TRUE(isVirtualized(Mode::BaseVirtualized));
+    EXPECT_TRUE(isVirtualized(Mode::DualDirect));
+
+    EXPECT_TRUE(usesGuestSegment(Mode::NativeDirect));
+    EXPECT_TRUE(usesGuestSegment(Mode::DualDirect));
+    EXPECT_TRUE(usesGuestSegment(Mode::GuestDirect));
+    EXPECT_FALSE(usesGuestSegment(Mode::VmmDirect));
+
+    EXPECT_TRUE(usesVmmSegment(Mode::DualDirect));
+    EXPECT_TRUE(usesVmmSegment(Mode::VmmDirect));
+    EXPECT_FALSE(usesVmmSegment(Mode::GuestDirect));
+}
+
+TEST(ModeTest, NamesAndLabels)
+{
+    EXPECT_STREQ(modeName(Mode::DualDirect), "Dual Direct");
+    EXPECT_STREQ(modeBarLabel(Mode::VmmDirect), "4K+VD");
+    EXPECT_STREQ(modeBarLabel(Mode::BaseVirtualized), "4K+4K");
+    EXPECT_STREQ(supportName(Support::Limited), "limited");
+}
+
+} // namespace
+} // namespace emv::core

@@ -1,0 +1,222 @@
+/** @file Unit tests for the buddy frame allocator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "mem/buddy_allocator.hh"
+
+namespace emv::mem {
+namespace {
+
+TEST(BuddyTest, FreshAllocatorIsAllFree)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    EXPECT_EQ(buddy.freeBytes(), 16 * MiB);
+    EXPECT_EQ(buddy.largestFreeRun(), 16 * MiB);
+    EXPECT_DOUBLE_EQ(buddy.fragmentationIndex(), 0.0);
+}
+
+TEST(BuddyTest, AllocateReturnsAlignedBlocks)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    for (unsigned order : {0u, 3u, 9u}) {
+        auto block = buddy.allocate(order);
+        ASSERT_TRUE(block.has_value());
+        EXPECT_TRUE(isAligned(*block, kPage4K << order));
+    }
+}
+
+TEST(BuddyTest, AllocateIsTopDown)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    auto first = buddy.allocate(0);
+    auto second = buddy.allocate(0);
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(*first, 16 * MiB - kPage4K);
+    EXPECT_LT(*second, *first);
+}
+
+TEST(BuddyTest, FreeBytesTracksAllocations)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    auto a = buddy.allocate(4);  // 64K
+    EXPECT_EQ(buddy.freeBytes(), 16 * MiB - 64 * KiB);
+    buddy.free(*a, 4);
+    EXPECT_EQ(buddy.freeBytes(), 16 * MiB);
+}
+
+TEST(BuddyTest, CoalescingRestoresLargestRun)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 64; ++i)
+        blocks.push_back(*buddy.allocate(0));
+    for (Addr block : blocks)
+        buddy.free(block, 0);
+    EXPECT_EQ(buddy.largestFreeRun(), 16 * MiB);
+}
+
+TEST(BuddyTest, ExhaustionReturnsNullopt)
+{
+    BuddyAllocator buddy(0, 64 * KiB);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(buddy.allocate(0).has_value());
+    EXPECT_FALSE(buddy.allocate(0).has_value());
+}
+
+TEST(BuddyTest, NoDoubleAllocation)
+{
+    BuddyAllocator buddy(0, 4 * MiB);
+    std::set<Addr> seen;
+    while (auto block = buddy.allocate(0))
+        EXPECT_TRUE(seen.insert(*block).second);
+    EXPECT_EQ(seen.size(), 1024u);
+}
+
+TEST(BuddyTest, AllocateRangeExact)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    EXPECT_TRUE(buddy.allocateRange(1 * MiB, 2 * MiB));
+    EXPECT_FALSE(buddy.rangeFree(1 * MiB, 2 * MiB));
+    EXPECT_EQ(buddy.freeBytes(), 14 * MiB);
+    // Overlapping reservation fails.
+    EXPECT_FALSE(buddy.allocateRange(2 * MiB, 1 * MiB));
+    buddy.freeRange(1 * MiB, 2 * MiB);
+    EXPECT_EQ(buddy.largestFreeRun(), 16 * MiB);
+}
+
+TEST(BuddyTest, AllocateRangeOutsideFails)
+{
+    BuddyAllocator buddy(kPage4K, 1 * MiB);
+    EXPECT_FALSE(buddy.allocateRange(0, kPage4K));
+    EXPECT_FALSE(buddy.allocateRange(2 * MiB, kPage4K));
+}
+
+TEST(BuddyTest, NonZeroBase)
+{
+    BuddyAllocator buddy(8 * MiB, 8 * MiB);
+    auto block = buddy.allocate(0);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_GE(*block, 8 * MiB);
+    EXPECT_LT(*block, 16 * MiB);
+    buddy.free(*block, 0);
+    EXPECT_EQ(buddy.largestFreeRun(), 8 * MiB);
+}
+
+TEST(BuddyTest, NonPowerOfTwoSize)
+{
+    BuddyAllocator buddy(0, 12 * MiB + 8 * KiB);
+    EXPECT_EQ(buddy.freeBytes(), 12 * MiB + 8 * KiB);
+    Addr total = 0;
+    while (auto b = buddy.allocate(0)) {
+        (void)b;
+        total += kPage4K;
+    }
+    EXPECT_EQ(total, 12 * MiB + 8 * KiB);
+}
+
+TEST(BuddyTest, FragmentationIndexRises)
+{
+    BuddyAllocator buddy(0, 16 * MiB);
+    // Pin every other 4K page of the top half.
+    for (Addr a = 8 * MiB; a < 16 * MiB; a += 2 * kPage4K)
+        ASSERT_TRUE(buddy.allocateRange(a, kPage4K));
+    EXPECT_GT(buddy.fragmentationIndex(), 0.3);
+    EXPECT_EQ(buddy.largestFreeRun(), 8 * MiB);
+}
+
+TEST(BuddyTest, OrderForBytes)
+{
+    EXPECT_EQ(BuddyAllocator::orderForBytes(1), 0u);
+    EXPECT_EQ(BuddyAllocator::orderForBytes(kPage4K), 0u);
+    EXPECT_EQ(BuddyAllocator::orderForBytes(kPage4K + 1), 1u);
+    EXPECT_EQ(BuddyAllocator::orderForBytes(kPage2M), 9u);
+    EXPECT_EQ(BuddyAllocator::orderForBytes(kPage1G), 18u);
+}
+
+TEST(BuddyTest, FreeIntervalsMatchAccounting)
+{
+    BuddyAllocator buddy(0, 8 * MiB);
+    buddy.allocateRange(1 * MiB, 1 * MiB);
+    buddy.allocateRange(4 * MiB, 2 * MiB);
+    auto free_set = buddy.freeIntervals();
+    EXPECT_EQ(free_set.totalLength(), buddy.freeBytes());
+    EXPECT_FALSE(free_set.contains(1 * MiB + 1));
+    EXPECT_TRUE(free_set.contains(3 * MiB));
+}
+
+/** Property sweep: random alloc/free keeps invariants. */
+class BuddyPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BuddyPropertyTest, RandomAllocFreeConservesBytes)
+{
+    Rng rng(GetParam());
+    BuddyAllocator buddy(0, 32 * MiB);
+    struct Block { Addr base; unsigned order; };
+    std::vector<Block> live;
+    for (int step = 0; step < 3000; ++step) {
+        if (live.empty() || rng.nextBool(0.55)) {
+            const unsigned order =
+                static_cast<unsigned>(rng.nextBelow(6));
+            if (auto block = buddy.allocate(order))
+                live.push_back({*block, order});
+        } else {
+            const auto idx = rng.nextBelow(live.size());
+            buddy.free(live[idx].base, live[idx].order);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        Addr live_bytes = 0;
+        for (const auto &blk : live)
+            live_bytes += kPage4K << blk.order;
+        ASSERT_EQ(buddy.freeBytes() + live_bytes, 32 * MiB);
+    }
+    // Freeing everything restores a single run.
+    for (const auto &blk : live)
+        buddy.free(blk.base, blk.order);
+    EXPECT_EQ(buddy.largestFreeRun(), 32 * MiB);
+}
+
+TEST_P(BuddyPropertyTest, LiveBlocksNeverOverlap)
+{
+    Rng rng(GetParam() ^ 0xabcdef);
+    BuddyAllocator buddy(0, 16 * MiB);
+    std::set<Addr> live_pages;
+    struct Block { Addr base; unsigned order; };
+    std::vector<Block> live;
+    for (int step = 0; step < 1500; ++step) {
+        if (live.empty() || rng.nextBool(0.6)) {
+            const unsigned order =
+                static_cast<unsigned>(rng.nextBelow(4));
+            auto block = buddy.allocate(order);
+            if (!block)
+                continue;
+            for (Addr p = *block;
+                 p < *block + (kPage4K << order); p += kPage4K) {
+                ASSERT_TRUE(live_pages.insert(p).second)
+                    << "overlap at " << std::hex << p;
+            }
+            live.push_back({*block, order});
+        } else {
+            const auto idx = rng.nextBelow(live.size());
+            for (Addr p = live[idx].base;
+                 p < live[idx].base + (kPage4K << live[idx].order);
+                 p += kPage4K) {
+                live_pages.erase(p);
+            }
+            buddy.free(live[idx].base, live[idx].order);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace emv::mem

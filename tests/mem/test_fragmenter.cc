@@ -1,0 +1,76 @@
+/** @file Unit tests for fragmentation injection. */
+
+#include <gtest/gtest.h>
+
+#include "mem/fragmenter.hh"
+
+namespace emv::mem {
+namespace {
+
+TEST(FragmenterTest, FragmentToRunBoundsLargestRun)
+{
+    BuddyAllocator buddy(0, 64 * MiB);
+    Fragmenter frag(5);
+    auto pins = frag.fragmentToRun(buddy, 4 * MiB);
+    EXPECT_LE(buddy.largestFreeRun(), 4 * MiB);
+    EXPECT_FALSE(pins.empty());
+}
+
+TEST(FragmenterTest, ReleaseRestoresContiguity)
+{
+    BuddyAllocator buddy(0, 64 * MiB);
+    Fragmenter frag(5);
+    auto pins = frag.fragmentToRun(buddy, 2 * MiB);
+    Fragmenter::release(buddy, pins);
+    EXPECT_EQ(buddy.largestFreeRun(), 64 * MiB);
+}
+
+TEST(FragmenterTest, PinsLittleMemory)
+{
+    BuddyAllocator buddy(0, 64 * MiB);
+    Fragmenter frag(7);
+    auto pins = frag.fragmentToRun(buddy, 4 * MiB);
+    // Fragmentation needs only scattered single pages, not bulk.
+    EXPECT_LT(pins.size() * kPage4K, 2 * MiB);
+    EXPECT_GT(buddy.freeBytes(), 60 * MiB);
+}
+
+TEST(FragmenterTest, DeterministicForSeed)
+{
+    BuddyAllocator a(0, 32 * MiB), b(0, 32 * MiB);
+    auto pa = Fragmenter(9).fragmentToRun(a, 1 * MiB);
+    auto pb = Fragmenter(9).fragmentToRun(b, 1 * MiB);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_EQ(pa[i].base, pb[i].base);
+}
+
+TEST(FragmenterTest, PinFractionPinsRequestedAmount)
+{
+    BuddyAllocator buddy(0, 32 * MiB);
+    Fragmenter frag(11);
+    auto pins = frag.pinFraction(buddy, 0.25);
+    const Addr pinned = pins.size() * kPage4K;
+    EXPECT_NEAR(static_cast<double>(pinned),
+                0.25 * 32 * MiB, 2.0 * kPage4K);
+}
+
+TEST(FragmenterTest, PinFractionZeroIsNoop)
+{
+    BuddyAllocator buddy(0, 32 * MiB);
+    Fragmenter frag(13);
+    auto pins = frag.pinFraction(buddy, 0.0);
+    EXPECT_TRUE(pins.empty());
+    EXPECT_EQ(buddy.freeBytes(), 32 * MiB);
+}
+
+TEST(FragmenterTest, AlreadySmallRunIsNoop)
+{
+    BuddyAllocator buddy(0, 8 * MiB);
+    Fragmenter frag(15);
+    auto pins = frag.fragmentToRun(buddy, 16 * MiB);
+    EXPECT_TRUE(pins.empty());
+}
+
+} // namespace
+} // namespace emv::mem

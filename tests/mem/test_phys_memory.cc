@@ -1,0 +1,139 @@
+/** @file Unit tests for simulated physical memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_memory.hh"
+
+namespace emv::mem {
+namespace {
+
+TEST(PhysMemoryTest, UntouchedReadsZero)
+{
+    PhysMemory mem(1 * MiB);
+    EXPECT_EQ(mem.read64(0), 0u);
+    EXPECT_EQ(mem.read64(0x8000), 0u);
+    EXPECT_EQ(mem.residentFrames(), 0u);
+}
+
+TEST(PhysMemoryTest, WriteThenRead)
+{
+    PhysMemory mem(1 * MiB);
+    mem.write64(0x1000, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(mem.read64(0x1000), 0xdeadbeefcafebabeull);
+    EXPECT_EQ(mem.read64(0x1008), 0u);
+    EXPECT_EQ(mem.residentFrames(), 1u);
+}
+
+TEST(PhysMemoryTest, SparseMaterialization)
+{
+    PhysMemory mem(1 * GiB);
+    mem.write64(0, 1);
+    mem.write64(512 * MiB, 2);
+    EXPECT_EQ(mem.residentFrames(), 2u);
+}
+
+TEST(PhysMemoryTest, ZeroFrame)
+{
+    PhysMemory mem(1 * MiB);
+    mem.write64(0x2000, 7);
+    mem.write64(0x2ff8, 9);
+    mem.zeroFrame(0x2000);
+    EXPECT_EQ(mem.read64(0x2000), 0u);
+    EXPECT_EQ(mem.read64(0x2ff8), 0u);
+}
+
+TEST(PhysMemoryTest, CopyFrame)
+{
+    PhysMemory mem(1 * MiB);
+    mem.write64(0x1000, 11);
+    mem.write64(0x1ff8, 22);
+    mem.copyFrame(0x3000, 0x1000);
+    EXPECT_EQ(mem.read64(0x3000), 11u);
+    EXPECT_EQ(mem.read64(0x3ff8), 22u);
+}
+
+TEST(PhysMemoryTest, CopyFromUntouchedZeroes)
+{
+    PhysMemory mem(1 * MiB);
+    mem.write64(0x3000, 5);
+    mem.copyFrame(0x3000, 0x7000);
+    EXPECT_EQ(mem.read64(0x3000), 0u);
+}
+
+TEST(PhysMemoryTest, HashDistinguishesContent)
+{
+    PhysMemory mem(1 * MiB);
+    mem.write64(0x1000, 1);
+    mem.write64(0x2000, 2);
+    EXPECT_NE(mem.hashFrame(0x1000), mem.hashFrame(0x2000));
+}
+
+TEST(PhysMemoryTest, HashEqualForEqualContent)
+{
+    PhysMemory mem(1 * MiB);
+    mem.write64(0x1008, 42);
+    mem.write64(0x2008, 42);
+    EXPECT_EQ(mem.hashFrame(0x1000), mem.hashFrame(0x2000));
+    // Untouched frames hash like all-zero frames.
+    EXPECT_EQ(mem.hashFrame(0x4000), mem.hashFrame(0x5000));
+}
+
+TEST(PhysMemoryTest, BadFrames)
+{
+    PhysMemory mem(1 * MiB);
+    EXPECT_FALSE(mem.isBad(0x5000));
+    mem.markBad(0x5123);
+    EXPECT_TRUE(mem.isBad(0x5000));
+    EXPECT_TRUE(mem.isBad(0x5fff));
+    EXPECT_FALSE(mem.isBad(0x6000));
+    EXPECT_EQ(mem.badFrameCount(), 1u);
+    mem.clearBad(0x5000);
+    EXPECT_FALSE(mem.isBad(0x5000));
+}
+
+TEST(PhysMemoryTest, AnyBadInRange)
+{
+    PhysMemory mem(1 * MiB);
+    mem.markBad(0x40000);
+    EXPECT_TRUE(mem.anyBadInRange(0x40000, kPage4K));
+    EXPECT_TRUE(mem.anyBadInRange(0x3f000, 2 * kPage4K));
+    EXPECT_FALSE(mem.anyBadInRange(0x41000, kPage4K));
+}
+
+TEST(PhysMemoryTest, BadFramesInRangeSorted)
+{
+    PhysMemory mem(1 * MiB);
+    mem.markBad(0x9000);
+    mem.markBad(0x3000);
+    mem.markBad(0x6000);
+    auto bad = mem.badFramesInRange(0, 1 * MiB);
+    ASSERT_EQ(bad.size(), 3u);
+    EXPECT_EQ(bad[0], 0x3000u);
+    EXPECT_EQ(bad[1], 0x6000u);
+    EXPECT_EQ(bad[2], 0x9000u);
+}
+
+TEST(PhysMemoryTest, CountsAccesses)
+{
+    PhysMemory mem(1 * MiB);
+    mem.read64(0);
+    mem.read64(8);
+    mem.write64(16, 1);
+    EXPECT_EQ(mem.stats().counterValue("reads"), 2u);
+    EXPECT_EQ(mem.stats().counterValue("writes"), 1u);
+}
+
+TEST(PhysMemoryDeathTest, OutOfBoundsPanics)
+{
+    PhysMemory mem(1 * MiB);
+    EXPECT_DEATH(mem.read64(2 * MiB), "beyond memory");
+}
+
+TEST(PhysMemoryDeathTest, MisalignedPanics)
+{
+    PhysMemory mem(1 * MiB);
+    EXPECT_DEATH(mem.read64(4), "misaligned");
+}
+
+} // namespace
+} // namespace emv::mem

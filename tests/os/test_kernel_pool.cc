@@ -1,0 +1,91 @@
+/** @file Unit tests for the pooled kernel-frame allocator. */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_accessor.hh"
+#include "os/guest_os.hh"
+
+namespace emv::os {
+namespace {
+
+class KernelPoolTest : public ::testing::Test
+{
+  protected:
+    static constexpr Addr kSpan = 256 * MiB;
+
+    KernelPoolTest() : mem(kSpan), accessor(mem) {}
+
+    mem::PhysMemory mem;
+    mem::HostPhysAccessor accessor;
+};
+
+TEST_F(KernelPoolTest, FramesClusterAtConfiguredBase)
+{
+    OsConfig cfg;
+    cfg.kernelAllocBase = 128 * MiB;
+    GuestOs os(accessor, kSpan, {{0, kSpan}}, cfg);
+    for (int i = 0; i < 64; ++i) {
+        auto frame = os.allocKernelFrame();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_GE(*frame, 128 * MiB);
+        EXPECT_LT(*frame, 128 * MiB + cfg.kernelChunkBytes);
+    }
+}
+
+TEST_F(KernelPoolTest, DefaultBaseClustersLow)
+{
+    GuestOs os(accessor, kSpan, {{0, kSpan}});
+    auto frame = os.allocKernelFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_LT(*frame, 8 * MiB);
+}
+
+TEST_F(KernelPoolTest, PoolIsUnmovable)
+{
+    GuestOs os(accessor, kSpan, {{0, kSpan}});
+    auto frame = os.allocKernelFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(os.unmovable().contains(*frame));
+}
+
+TEST_F(KernelPoolTest, FreedFramesAreRecycled)
+{
+    GuestOs os(accessor, kSpan, {{0, kSpan}});
+    auto a = os.allocKernelFrame();
+    ASSERT_TRUE(a.has_value());
+    os.freeKernelFrame(*a);
+    auto b = os.allocKernelFrame();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+}
+
+TEST_F(KernelPoolTest, PoolGrowsByChunks)
+{
+    OsConfig cfg;
+    cfg.kernelChunkBytes = 1 * MiB;
+    GuestOs os(accessor, kSpan, {{0, kSpan}}, cfg);
+    const Addr free_before = os.buddy().freeBytes();
+    // Drain more than one chunk's worth of frames.
+    const int frames = static_cast<int>(cfg.kernelChunkBytes /
+                                        kPage4K) +
+                       8;
+    for (int i = 0; i < frames; ++i)
+        ASSERT_TRUE(os.allocKernelFrame().has_value());
+    EXPECT_EQ(os.buddy().freeBytes(), free_before - 2 * MiB);
+}
+
+TEST_F(KernelPoolTest, SkipsBadFramesInChunk)
+{
+    OsConfig cfg;
+    cfg.kernelAllocBase = 64 * MiB;
+    mem.markBad(64 * MiB + 3 * kPage4K);
+    GuestOs os(accessor, kSpan, {{0, kSpan}}, cfg);
+    for (int i = 0; i < 200; ++i) {
+        auto frame = os.allocKernelFrame();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_NE(*frame, 64 * MiB + 3 * kPage4K);
+    }
+}
+
+} // namespace
+} // namespace emv::os

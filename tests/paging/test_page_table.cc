@@ -1,0 +1,212 @@
+/** @file Unit tests for the x86-64 page-table builder. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "paging/page_table.hh"
+#include "paging/pte.hh"
+#include "../test_support.hh"
+
+namespace emv::paging {
+namespace {
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PageTableTest()
+        : mem(256 * MiB), space(mem, 128 * MiB), pt(space)
+    {
+    }
+
+    mem::PhysMemory mem;
+    test::BumpMemSpace space;
+    PageTable pt;
+};
+
+TEST_F(PageTableTest, FreshTableTranslatesNothing)
+{
+    EXPECT_FALSE(pt.translate(0).has_value());
+    EXPECT_FALSE(pt.translate(0x7fffffffffff).has_value());
+    EXPECT_EQ(pt.mappedLeaves(), 0u);
+    EXPECT_EQ(pt.tableNodes(), 1u);  // Just the root.
+}
+
+TEST_F(PageTableTest, Map4KAndTranslate)
+{
+    pt.map(0x400000, 0x10000, PageSize::Size4K);
+    auto t = pt.translate(0x400123);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, 0x10123u);
+    EXPECT_EQ(t->size, PageSize::Size4K);
+    EXPECT_TRUE(t->writable);
+    EXPECT_FALSE(pt.translate(0x401000).has_value());
+}
+
+TEST_F(PageTableTest, Map2MLeaf)
+{
+    pt.map(0x40000000, 0x200000, PageSize::Size2M);
+    auto t = pt.translate(0x40012345);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, 0x212345u);
+    EXPECT_EQ(t->size, PageSize::Size2M);
+    // A 2M leaf needs no level-1 table: root + L3 + L2.
+    EXPECT_EQ(pt.tableNodes(), 3u);
+}
+
+TEST_F(PageTableTest, Map1GLeaf)
+{
+    pt.map(0, 0x40000000, PageSize::Size1G);
+    auto t = pt.translate(0x3fffffff);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, 0x7fffffffu);
+    EXPECT_EQ(t->size, PageSize::Size1G);
+    EXPECT_EQ(pt.tableNodes(), 2u);  // Root + PDPT.
+}
+
+TEST_F(PageTableTest, ReadOnlyMapping)
+{
+    pt.map(0x1000, 0x2000, PageSize::Size4K, /*writable=*/false);
+    auto t = pt.translate(0x1000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_FALSE(t->writable);
+}
+
+TEST_F(PageTableTest, HighCanonicalAddresses)
+{
+    const Addr high_va = 0x7ffffffff000;  // Top of 47-bit space.
+    pt.map(high_va, 0x5000, PageSize::Size4K);
+    auto t = pt.translate(high_va + 0xabc);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, 0x5abcu);
+}
+
+TEST_F(PageTableTest, UnmapRemovesLeaf)
+{
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_TRUE(pt.unmap(0x1000, PageSize::Size4K));
+    EXPECT_FALSE(pt.translate(0x1000).has_value());
+    EXPECT_EQ(pt.mappedLeaves(), 0u);
+}
+
+TEST_F(PageTableTest, UnmapMissingReturnsFalse)
+{
+    EXPECT_FALSE(pt.unmap(0x1000, PageSize::Size4K));
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_FALSE(pt.unmap(0x200000, PageSize::Size4K));
+    // Unmapping the enclosing 2M page of a 4K mapping is a no-op
+    // (the leaf lives one level lower).
+    EXPECT_FALSE(pt.unmap(0, PageSize::Size2M));
+    EXPECT_TRUE(pt.translate(0x1000).has_value());
+}
+
+TEST_F(PageTableTest, UnmapReclaimsEmptyNodes)
+{
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    const auto nodes_with_mapping = pt.tableNodes();
+    EXPECT_EQ(nodes_with_mapping, 4u);
+    pt.unmap(0x1000, PageSize::Size4K);
+    EXPECT_EQ(pt.tableNodes(), 1u);
+    EXPECT_EQ(space.freed, 3u);
+}
+
+TEST_F(PageTableTest, SiblingKeepsSharedNodes)
+{
+    pt.map(0x1000, 0x10000, PageSize::Size4K);
+    pt.map(0x2000, 0x11000, PageSize::Size4K);
+    pt.unmap(0x1000, PageSize::Size4K);
+    // The shared L1 table still holds the sibling.
+    ASSERT_TRUE(pt.translate(0x2000).has_value());
+    EXPECT_EQ(pt.tableNodes(), 4u);
+}
+
+TEST_F(PageTableTest, UpdateCountTracksMapUnmap)
+{
+    pt.map(0x1000, 0x10000, PageSize::Size4K);
+    pt.map(0x2000, 0x11000, PageSize::Size4K);
+    pt.unmap(0x1000, PageSize::Size4K);
+    EXPECT_EQ(pt.updateCount(), 3u);
+}
+
+TEST_F(PageTableTest, ForEachLeafVisitsAllInOrder)
+{
+    pt.map(0x40000000, 0x200000, PageSize::Size2M);
+    pt.map(0x1000, 0x10000, PageSize::Size4K);
+    pt.map(0x2000, 0x11000, PageSize::Size4K);
+    std::vector<Addr> vas;
+    pt.forEachLeaf([&](const PageTable::Leaf &leaf) {
+        vas.push_back(leaf.va);
+    });
+    ASSERT_EQ(vas.size(), 3u);
+    EXPECT_EQ(vas[0], 0x1000u);
+    EXPECT_EQ(vas[1], 0x2000u);
+    EXPECT_EQ(vas[2], 0x40000000u);
+}
+
+TEST_F(PageTableTest, MixedSizesCoexist)
+{
+    pt.map(0x40000000, 0x40000000, PageSize::Size1G);
+    pt.map(0x80000000, 0x200000, PageSize::Size2M);
+    pt.map(0x80200000 + 0x1000, 0, PageSize::Size4K);
+    EXPECT_EQ(pt.translate(0x40000010)->pa, 0x40000010u);
+    EXPECT_EQ(pt.translate(0x80000010)->pa, 0x200010u);
+    EXPECT_EQ(pt.translate(0x80201008)->pa, 0x8u);
+}
+
+TEST_F(PageTableTest, RandomizedMapUnmapConsistency)
+{
+    Rng rng(31);
+    std::map<Addr, Addr> ref;  // va page -> pa page
+    for (int step = 0; step < 2000; ++step) {
+        const Addr va = rng.nextBelow(4096) * kPage4K;
+        if (rng.nextBool(0.6)) {
+            if (ref.count(va))
+                continue;
+            const Addr pa = rng.nextBelow(16384) * kPage4K;
+            pt.map(va, pa, PageSize::Size4K);
+            ref[va] = pa;
+        } else if (!ref.empty()) {
+            auto it = ref.begin();
+            std::advance(it,
+                         static_cast<long>(rng.nextBelow(ref.size())));
+            pt.unmap(it->first, PageSize::Size4K);
+            ref.erase(it);
+        }
+    }
+    for (const auto &[va, pa] : ref) {
+        auto t = pt.translate(va);
+        ASSERT_TRUE(t.has_value());
+        ASSERT_EQ(t->pa, pa);
+    }
+    EXPECT_EQ(pt.mappedLeaves(), ref.size());
+}
+
+TEST_F(PageTableTest, TableBytesMatchesNodes)
+{
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_EQ(pt.tableBytes(), pt.tableNodes() * kPage4K);
+}
+
+using PageTableDeathTest = PageTableTest;
+
+TEST_F(PageTableDeathTest, DoubleMapPanics)
+{
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_DEATH(pt.map(0x1000, 0x3000, PageSize::Size4K),
+                 "already mapped");
+}
+
+TEST_F(PageTableDeathTest, ConflictingLeafLevelsPanic)
+{
+    pt.map(0x40000000, 0x200000, PageSize::Size2M);
+    EXPECT_DEATH(pt.map(0x40000000, 0x1000, PageSize::Size4K),
+                 "conflicts");
+}
+
+TEST_F(PageTableDeathTest, MisalignedMapPanics)
+{
+    EXPECT_DEATH(pt.map(0x1234, 0x2000, PageSize::Size4K),
+                 "not aligned");
+}
+
+} // namespace
+} // namespace emv::paging

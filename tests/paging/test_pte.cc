@@ -1,0 +1,80 @@
+/** @file Unit tests for x86-64 PTE encodings and geometry. */
+
+#include <gtest/gtest.h>
+
+#include "paging/pte.hh"
+
+namespace emv::paging {
+namespace {
+
+TEST(PteGeometryTest, TableIndexExtractsNineBitFields)
+{
+    // va = PML4[3] PDPT[5] PD[7] PT[9] offset 0x123.
+    const Addr va = (3ull << 39) | (5ull << 30) | (7ull << 21) |
+                    (9ull << 12) | 0x123;
+    EXPECT_EQ(tableIndex(va, 4), 3u);
+    EXPECT_EQ(tableIndex(va, 3), 5u);
+    EXPECT_EQ(tableIndex(va, 2), 7u);
+    EXPECT_EQ(tableIndex(va, 1), 9u);
+}
+
+TEST(PteGeometryTest, IndexMaxValues)
+{
+    const Addr va = (511ull << 39) | (511ull << 30) |
+                    (511ull << 21) | (511ull << 12);
+    for (int level = 1; level <= 4; ++level)
+        EXPECT_EQ(tableIndex(va, level), 511u);
+}
+
+TEST(PteGeometryTest, LeafSizeAndLevelAreInverse)
+{
+    EXPECT_EQ(leafSize(1), PageSize::Size4K);
+    EXPECT_EQ(leafSize(2), PageSize::Size2M);
+    EXPECT_EQ(leafSize(3), PageSize::Size1G);
+    for (PageSize size : {PageSize::Size4K, PageSize::Size2M,
+                          PageSize::Size1G}) {
+        EXPECT_EQ(leafSize(leafLevel(size)), size);
+    }
+}
+
+TEST(PteEncodingTest, TableEntryBits)
+{
+    const auto raw = Pte::makeTable(0x1234000);
+    Pte pte{raw};
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_TRUE(pte.user());
+    EXPECT_FALSE(pte.pageSize());
+    EXPECT_EQ(pte.frame(), 0x1234000u);
+}
+
+TEST(PteEncodingTest, LeafEntryBits)
+{
+    const auto raw4k = Pte::makeLeaf(0x5000, 1, true, true);
+    EXPECT_FALSE(Pte{raw4k}.pageSize());  // PS only above level 1.
+    const auto raw2m = Pte::makeLeaf(0x200000, 2, false, true);
+    Pte pte{raw2m};
+    EXPECT_TRUE(pte.pageSize());
+    EXPECT_FALSE(pte.writable());
+    EXPECT_EQ(pte.frame(), 0x200000u);
+}
+
+TEST(PteEncodingTest, FrameMaskKeepsBits12To51)
+{
+    const Addr high_frame = 0x000ffffffffff000ull;
+    Pte pte{Pte::makeLeaf(high_frame, 1, true, true)};
+    EXPECT_EQ(pte.frame(), high_frame);
+    // Offset bits never leak into the frame field.
+    Pte dirty{Pte::makeLeaf(0x5000, 1, true, true) | 0x5};
+    EXPECT_EQ(dirty.frame(), 0x5000u);
+}
+
+TEST(PteEncodingTest, NonPresentIsZero)
+{
+    Pte pte{0};
+    EXPECT_FALSE(pte.present());
+    EXPECT_FALSE(pte.pageSize());
+}
+
+} // namespace
+} // namespace emv::paging

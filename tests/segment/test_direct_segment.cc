@@ -1,0 +1,87 @@
+/** @file Unit tests for direct-segment registers. */
+
+#include <gtest/gtest.h>
+
+#include "segment/direct_segment.hh"
+
+namespace emv::segment {
+namespace {
+
+TEST(SegmentRegsTest, DefaultDisabled)
+{
+    SegmentRegs regs;
+    EXPECT_FALSE(regs.enabled());
+    EXPECT_FALSE(regs.contains(0));
+    EXPECT_EQ(regs.length(), 0u);
+}
+
+TEST(SegmentRegsTest, BaseEqualsLimitDisables)
+{
+    // The paper's trick: BASE = LIMIT nullifies a mode's hardware.
+    SegmentRegs regs(0x1000, 0x1000, 0x5000);
+    EXPECT_FALSE(regs.enabled());
+    EXPECT_FALSE(regs.contains(0x1000));
+}
+
+TEST(SegmentRegsTest, ContainsIsHalfOpen)
+{
+    SegmentRegs regs(0x1000, 0x3000, 0);
+    EXPECT_FALSE(regs.contains(0xfff));
+    EXPECT_TRUE(regs.contains(0x1000));
+    EXPECT_TRUE(regs.contains(0x2fff));
+    EXPECT_FALSE(regs.contains(0x3000));
+}
+
+TEST(SegmentRegsTest, TranslateAddsOffset)
+{
+    auto regs = SegmentRegs::fromRanges(0x10000, 0x4000, 0x90000);
+    EXPECT_TRUE(regs.contains(0x10000));
+    EXPECT_TRUE(regs.contains(0x13fff));
+    EXPECT_FALSE(regs.contains(0x14000));
+    EXPECT_EQ(regs.translate(0x10000), 0x90000u);
+    EXPECT_EQ(regs.translate(0x13abc), 0x93abcu);
+}
+
+TEST(SegmentRegsTest, NegativeOffsetWraps)
+{
+    // Destination below source: two's-complement offset.
+    auto regs = SegmentRegs::fromRanges(0x100000, 0x1000, 0x20000);
+    EXPECT_EQ(regs.translate(0x100123), 0x20123u);
+}
+
+TEST(SegmentRegsTest, FromRangesFields)
+{
+    auto regs = SegmentRegs::fromRanges(0x4000, 0x2000, 0x10000);
+    EXPECT_EQ(regs.base(), 0x4000u);
+    EXPECT_EQ(regs.limit(), 0x6000u);
+    EXPECT_EQ(regs.length(), 0x2000u);
+}
+
+TEST(SegmentRegsTest, ClearDisables)
+{
+    auto regs = SegmentRegs::fromRanges(0x4000, 0x2000, 0x10000);
+    regs.clear();
+    EXPECT_FALSE(regs.enabled());
+    EXPECT_EQ(regs, SegmentRegs());
+}
+
+TEST(SegmentRegsTest, ToString)
+{
+    SegmentRegs regs;
+    EXPECT_EQ(regs.toString(), "[disabled]");
+    auto on = SegmentRegs::fromRanges(0x1000, 0x1000, 0x5000);
+    EXPECT_NE(on.toString().find("0x1000"), std::string::npos);
+}
+
+TEST(SegmentRegsTest, HugeSegment)
+{
+    // 64 GB segment: typical big-memory primary region.
+    auto regs = SegmentRegs::fromRanges(1ull << 40, 64 * GiB,
+                                        4 * GiB);
+    EXPECT_TRUE(regs.contains((1ull << 40) + 63 * GiB));
+    EXPECT_EQ(regs.translate((1ull << 40) + 63 * GiB),
+              4 * GiB + 63 * GiB);
+}
+
+} // namespace
+} // namespace emv::segment

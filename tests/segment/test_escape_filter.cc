@@ -1,0 +1,136 @@
+/** @file Unit tests for the escape filter (§V, §IX.C). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "segment/escape_filter.hh"
+
+namespace emv::segment {
+namespace {
+
+TEST(EscapeFilterTest, EmptyFilterContainsNothing)
+{
+    EscapeFilter filter;
+    EXPECT_FALSE(filter.mayContain(0x1000));
+    EXPECT_EQ(filter.insertedPages(), 0u);
+    EXPECT_EQ(filter.popcount(), 0u);
+}
+
+TEST(EscapeFilterTest, NoFalseNegatives)
+{
+    // Bloom filters may lie positively, never negatively.
+    EscapeFilter filter;
+    Rng rng(3);
+    std::vector<Addr> pages;
+    for (int i = 0; i < 16; ++i)
+        pages.push_back(rng.nextBelow(1ull << 40) << 12);
+    for (Addr page : pages)
+        filter.insertPage(page);
+    for (Addr page : pages) {
+        EXPECT_TRUE(filter.mayContain(page));
+        EXPECT_TRUE(filter.mayContain(page + 0xabc));  // Same page.
+    }
+}
+
+TEST(EscapeFilterTest, PaperGeometryDefaults)
+{
+    EscapeFilter filter;
+    EXPECT_EQ(filter.sizeBits(), 256u);
+    EXPECT_EQ(filter.numHashes(), 4u);
+}
+
+TEST(EscapeFilterTest, SixteenFaultsKeepLowFalsePositives)
+{
+    // §IX.C: 256 bits / 4 hashes tolerates 16 faulty pages with
+    // near-zero false-positive impact.
+    EscapeFilter filter(256, 4, 0x1234);
+    Rng rng(17);
+    for (int i = 0; i < 16; ++i)
+        filter.insertPage(rng.nextBelow(1ull << 36) << 12);
+
+    std::uint64_t false_positives = 0;
+    const std::uint64_t probes = 100000;
+    for (std::uint64_t i = 0; i < probes; ++i) {
+        // Fresh pages not in the inserted set (different range).
+        const Addr page = ((1ull << 40) + i) << 12;
+        false_positives += filter.mayContain(page) ? 1 : 0;
+    }
+    const double rate = static_cast<double>(false_positives) /
+                        static_cast<double>(probes);
+    // Analytic rate for n=16, m=256, k=4 is ~0.24%; allow slack.
+    EXPECT_LT(rate, 0.02);
+    EXPECT_NEAR(rate, filter.expectedFalsePositiveRate(), 0.01);
+}
+
+TEST(EscapeFilterTest, ClearEmptiesFilter)
+{
+    EscapeFilter filter;
+    filter.insertPage(0x5000);
+    filter.clear();
+    EXPECT_FALSE(filter.mayContain(0x5000));
+    EXPECT_EQ(filter.popcount(), 0u);
+    EXPECT_EQ(filter.insertedPages(), 0u);
+}
+
+TEST(EscapeFilterTest, PopcountBoundedByHashesTimesInserts)
+{
+    EscapeFilter filter;
+    for (int i = 0; i < 8; ++i)
+        filter.insertPage(static_cast<Addr>(i) << 12);
+    EXPECT_LE(filter.popcount(), 8u * 4u);
+    EXPECT_GE(filter.popcount(), 4u);  // At least one insert's bits.
+}
+
+TEST(EscapeFilterTest, ExpectedRateGrowsWithInserts)
+{
+    EscapeFilter filter;
+    double last = filter.expectedFalsePositiveRate();
+    for (int i = 0; i < 64; ++i) {
+        filter.insertPage(static_cast<Addr>(i * 7 + 1) << 12);
+        const double rate = filter.expectedFalsePositiveRate();
+        EXPECT_GE(rate, last);
+        last = rate;
+    }
+    EXPECT_GT(last, 0.1);  // Saturating filter becomes useless.
+}
+
+/** Property sweep over filter geometries (ablation backing). */
+class FilterGeometryTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(FilterGeometryTest, MeasuredRateTracksAnalytic)
+{
+    const auto [bits, hashes] = GetParam();
+    EscapeFilter filter(bits, hashes, 0xfeed);
+    Rng rng(23);
+    for (int i = 0; i < 16; ++i)
+        filter.insertPage(rng.nextBelow(1ull << 36) << 12);
+
+    std::uint64_t fp = 0;
+    const std::uint64_t probes = 50000;
+    for (std::uint64_t i = 0; i < probes; ++i)
+        fp += filter.mayContain(((1ull << 41) + i) << 12) ? 1 : 0;
+    const double measured =
+        static_cast<double>(fp) / static_cast<double>(probes);
+    const double analytic = filter.expectedFalsePositiveRate();
+    EXPECT_NEAR(measured, analytic, 0.05 + analytic * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FilterGeometryTest,
+    ::testing::Values(std::make_tuple(64u, 2u),
+                      std::make_tuple(128u, 2u),
+                      std::make_tuple(256u, 4u),
+                      std::make_tuple(512u, 4u),
+                      std::make_tuple(1024u, 4u)));
+
+TEST(EscapeFilterDeathTest, BadGeometryPanics)
+{
+    EXPECT_DEATH(EscapeFilter(100, 4), "power of two");
+    EXPECT_DEATH(EscapeFilter(256, 0), ">= 1 hash");
+}
+
+} // namespace
+} // namespace emv::segment

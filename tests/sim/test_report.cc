@@ -1,0 +1,68 @@
+/** @file Unit tests for report formatting. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hh"
+
+namespace emv::sim {
+namespace {
+
+TEST(TableTest, AlignsColumns)
+{
+    Table table({"a", "bbbb"});
+    table.addRow({"xxxxxx", "y"});
+    table.addRow({"z", "w"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Every line is equally wide (trailing pads included).
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);
+    const auto width = line.size();
+    while (std::getline(is, line))
+        EXPECT_EQ(line.size(), width);
+}
+
+TEST(TableTest, RowCount)
+{
+    Table table({"a"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableDeathTest, WrongArityPanics)
+{
+    Table table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only one"}), "cells");
+}
+
+TEST(FormatTest, Pct)
+{
+    EXPECT_EQ(pct(0.0), "0.0%");
+    EXPECT_EQ(pct(0.1234), "12.3%");
+    EXPECT_EQ(pct(1.5), "150.0%");
+}
+
+TEST(FormatTest, Fmt)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FormatTest, BytesStr)
+{
+    EXPECT_EQ(bytesStr(512), "512 B");
+    EXPECT_EQ(bytesStr(2048), "2.00 KB");
+    EXPECT_EQ(bytesStr(3 * 1024 * 1024), "3.00 MB");
+    EXPECT_EQ(bytesStr(1536ull << 20), "1.50 GB");
+}
+
+} // namespace
+} // namespace emv::sim

@@ -1,0 +1,61 @@
+/** @file Shared helpers for emv unit tests. */
+
+#ifndef EMV_TESTS_TEST_SUPPORT_HH
+#define EMV_TESTS_TEST_SUPPORT_HH
+
+#include "mem/phys_memory.hh"
+#include "paging/page_table.hh"
+
+namespace emv::test {
+
+/**
+ * Identity MemSpace over host memory with a bump allocator for
+ * table frames — the minimal harness for page-table tests.
+ */
+class BumpMemSpace : public paging::MemSpace
+{
+  public:
+    BumpMemSpace(mem::PhysMemory &mem, Addr frame_area_base)
+        : mem(mem), next(frame_area_base)
+    {
+    }
+
+    std::uint64_t
+    read64(Addr addr) const override
+    {
+        return mem.read64(addr);
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value) override
+    {
+        mem.write64(addr, value);
+    }
+
+    Addr
+    allocTableFrame() override
+    {
+        const Addr frame = next;
+        next += kPage4K;
+        mem.zeroFrame(frame);
+        ++allocated;
+        return frame;
+    }
+
+    void
+    freeTableFrame(Addr) override
+    {
+        ++freed;
+    }
+
+    std::uint64_t allocated = 0;
+    std::uint64_t freed = 0;
+
+  private:
+    mem::PhysMemory &mem;
+    Addr next;
+};
+
+} // namespace emv::test
+
+#endif // EMV_TESTS_TEST_SUPPORT_HH

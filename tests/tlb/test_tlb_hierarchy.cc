@@ -1,0 +1,132 @@
+/** @file Unit tests for the two-level TLB hierarchy (Table VI). */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb_hierarchy.hh"
+
+namespace emv::tlb {
+namespace {
+
+TEST(TlbHierarchyTest, GuestInsertHitsBothLevels)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertGuest(0x1000, 0xa000, PageSize::Size4K);
+    EXPECT_TRUE(tlbs.lookupL1(0x1000).has_value());
+    EXPECT_TRUE(tlbs.lookupL2(0x1fff).has_value());
+}
+
+TEST(TlbHierarchyTest, L1SplitByPageSize)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertGuest(0, 0x40000000, PageSize::Size1G);
+    tlbs.insertGuest(0x80000000, 0x200000, PageSize::Size2M);
+    tlbs.insertGuest(0xc0000000, 0x1000, PageSize::Size4K);
+    EXPECT_EQ(tlbs.lookupL1(0x100)->size, PageSize::Size1G);
+    EXPECT_EQ(tlbs.lookupL1(0x80000100)->size, PageSize::Size2M);
+    EXPECT_EQ(tlbs.lookupL1(0xc0000100)->size, PageSize::Size4K);
+}
+
+TEST(TlbHierarchyTest, OneGigEntriesNotInL2)
+{
+    // SandyBridge's L2 holds no 1G entries — the "limited 1GB TLB
+    // entries" effect behind the paper's 1G+1G observation.
+    TlbHierarchy tlbs;
+    tlbs.insertGuest(0, 0x40000000, PageSize::Size1G);
+    EXPECT_TRUE(tlbs.lookupL1(0x100).has_value());
+    EXPECT_FALSE(tlbs.lookupL2(0x100).has_value());
+}
+
+TEST(TlbHierarchyTest, L1OneGigCapacityIsFour)
+{
+    TlbHierarchy tlbs;
+    for (Addr i = 0; i < 8; ++i)
+        tlbs.insertGuest(i * kPage1G, i * kPage1G, PageSize::Size1G);
+    int hits = 0;
+    for (Addr i = 0; i < 8; ++i)
+        hits += tlbs.lookupL1(i * kPage1G).has_value() ? 1 : 0;
+    EXPECT_EQ(hits, 4);
+}
+
+TEST(TlbHierarchyTest, NestedEntriesLiveInL2Only)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertNested(0x1000, 0xb000, PageSize::Size4K);
+    EXPECT_FALSE(tlbs.lookupL1(0x1000).has_value());
+    EXPECT_FALSE(tlbs.lookupL2(0x1000).has_value());
+    auto hit = tlbs.lookupNested(0x1234);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->frame, 0xb000u);
+}
+
+TEST(TlbHierarchyTest, NestedAndGuestShareL2Capacity)
+{
+    TlbGeometry tiny;
+    tiny.l2Sets = 1;
+    tiny.l2Ways = 4;
+    TlbHierarchy tlbs(tiny);
+    for (Addr i = 0; i < 4; ++i)
+        tlbs.insertGuest(i * kPage4K, 0, PageSize::Size4K);
+    for (Addr i = 0; i < 4; ++i)
+        tlbs.insertNested((i + 64) * kPage4K, 0, PageSize::Size4K);
+    // Nested inserts evicted guest L2 entries.
+    int guest_l2_hits = 0;
+    for (Addr i = 0; i < 4; ++i)
+        guest_l2_hits += tlbs.lookupL2(i * kPage4K) ? 1 : 0;
+    EXPECT_EQ(guest_l2_hits, 0);
+}
+
+TEST(TlbHierarchyTest, FlushGuestKeepsNested)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertGuest(0x1000, 0xa000, PageSize::Size4K);
+    tlbs.insertNested(0x2000, 0xb000, PageSize::Size4K);
+    tlbs.flushGuest();
+    EXPECT_FALSE(tlbs.lookupL1(0x1000).has_value());
+    EXPECT_FALSE(tlbs.lookupL2(0x1000).has_value());
+    EXPECT_TRUE(tlbs.lookupNested(0x2000).has_value());
+}
+
+TEST(TlbHierarchyTest, FlushAll)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertGuest(0x1000, 0xa000, PageSize::Size4K);
+    tlbs.insertNested(0x2000, 0xb000, PageSize::Size4K);
+    tlbs.flushAll();
+    EXPECT_FALSE(tlbs.lookupL1(0x1000).has_value());
+    EXPECT_FALSE(tlbs.lookupNested(0x2000).has_value());
+}
+
+TEST(TlbHierarchyTest, FlushGuestPageInvalidatesBothLevels)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertGuest(0x1000, 0xa000, PageSize::Size4K);
+    tlbs.flushGuestPage(0x1000, PageSize::Size4K);
+    EXPECT_FALSE(tlbs.lookupL1(0x1000).has_value());
+    EXPECT_FALSE(tlbs.lookupL2(0x1000).has_value());
+}
+
+TEST(TlbHierarchyTest, FlushNestedPage)
+{
+    TlbHierarchy tlbs;
+    tlbs.insertNested(0x3000, 0xc000, PageSize::Size4K);
+    tlbs.flushNestedPage(0x3000, PageSize::Size4K);
+    EXPECT_FALSE(tlbs.lookupNested(0x3000).has_value());
+}
+
+TEST(TlbHierarchyTest, DefaultGeometryMatchesTableVI)
+{
+    TlbHierarchy tlbs;
+    EXPECT_EQ(tlbs.l1For(PageSize::Size4K).sets() *
+                  tlbs.l1For(PageSize::Size4K).ways(),
+              64u);
+    EXPECT_EQ(tlbs.l1For(PageSize::Size2M).sets() *
+                  tlbs.l1For(PageSize::Size2M).ways(),
+              32u);
+    EXPECT_EQ(tlbs.l1For(PageSize::Size1G).sets() *
+                  tlbs.l1For(PageSize::Size1G).ways(),
+              4u);
+    EXPECT_EQ(tlbs.l2().sets() * tlbs.l2().ways(), 512u);
+}
+
+} // namespace
+} // namespace emv::tlb

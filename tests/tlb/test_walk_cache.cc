@@ -1,0 +1,113 @@
+/** @file Unit tests for the paging-structure and PTE-line caches. */
+
+#include <gtest/gtest.h>
+
+#include "tlb/walk_cache.hh"
+
+namespace emv::tlb {
+namespace {
+
+TEST(WalkCacheTest, MissThenHit)
+{
+    WalkCache cache(4, 4);
+    const auto key = WalkCache::key(2, 0x40000000);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.insert(key, 0xbeef000);
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 0xbeef000u);
+}
+
+TEST(WalkCacheTest, KeysEncodeLevelAndPrefix)
+{
+    // Same VA, different level -> different keys.
+    EXPECT_NE(WalkCache::key(2, 0x40000000),
+              WalkCache::key(3, 0x40000000));
+    // Same level, addresses within one covered span share a key.
+    EXPECT_EQ(WalkCache::key(2, 0x40000000),
+              WalkCache::key(2, 0x401fffff));
+    EXPECT_NE(WalkCache::key(2, 0x40000000),
+              WalkCache::key(2, 0x40200000));
+}
+
+TEST(WalkCacheTest, InsertUpdatesExisting)
+{
+    WalkCache cache(4, 4);
+    const auto key = WalkCache::key(3, 0);
+    cache.insert(key, 0x1000);
+    cache.insert(key, 0x2000);
+    EXPECT_EQ(*cache.lookup(key), 0x2000u);
+}
+
+TEST(WalkCacheTest, Flush)
+{
+    WalkCache cache(4, 4);
+    cache.insert(WalkCache::key(2, 0), 0x1000);
+    cache.flush();
+    EXPECT_FALSE(cache.lookup(WalkCache::key(2, 0)).has_value());
+}
+
+TEST(WalkCacheTest, LruEviction)
+{
+    WalkCache cache(1, 2);
+    const auto k1 = WalkCache::key(2, 0);
+    const auto k2 = WalkCache::key(2, 1ull << 21);
+    const auto k3 = WalkCache::key(2, 2ull << 21);
+    cache.insert(k1, 1);
+    cache.insert(k2, 2);
+    cache.lookup(k1);
+    cache.insert(k3, 3);
+    EXPECT_TRUE(cache.lookup(k1).has_value());
+    EXPECT_FALSE(cache.lookup(k2).has_value());
+}
+
+TEST(LineCacheTest, FirstAccessMisses)
+{
+    LineCache cache(16, 4);
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+}
+
+TEST(LineCacheTest, LineGranularityIs64Bytes)
+{
+    LineCache cache(16, 4);
+    cache.access(0x1000);
+    EXPECT_TRUE(cache.access(0x103f));
+    EXPECT_FALSE(cache.access(0x1040));
+}
+
+TEST(LineCacheTest, CapacityEviction)
+{
+    LineCache cache(1, 2);
+    // Fill with >2 lines mapping to the single set; the set only
+    // keeps 2.
+    int hits = 0;
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        hits += cache.access(a) ? 1 : 0;
+    EXPECT_EQ(hits, 0);
+    int second_pass_hits = 0;
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        second_pass_hits += cache.access(a) ? 1 : 0;
+    EXPECT_LT(second_pass_hits, 8);
+}
+
+TEST(LineCacheTest, Flush)
+{
+    LineCache cache(16, 4);
+    cache.access(0x2000);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x2000));
+}
+
+TEST(LineCacheTest, StatsTrackHitRatio)
+{
+    LineCache cache(16, 4);
+    cache.access(0x1000);
+    cache.access(0x1000);
+    cache.access(0x1000);
+    EXPECT_EQ(cache.stats().counterValue("misses"), 1u);
+    EXPECT_EQ(cache.stats().counterValue("hits"), 2u);
+}
+
+} // namespace
+} // namespace emv::tlb

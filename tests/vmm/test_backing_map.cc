@@ -1,0 +1,126 @@
+/** @file Unit tests for the gPA→hPA backing-extent map. */
+
+#include <gtest/gtest.h>
+
+#include "vmm/backing_map.hh"
+
+namespace emv::vmm {
+namespace {
+
+TEST(BackingMapTest, EmptyMapsNothing)
+{
+    BackingMap map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.toHpa(0).has_value());
+    EXPECT_FALSE(map.covered(0, kPage4K));
+    EXPECT_EQ(map.totalBytes(), 0u);
+}
+
+TEST(BackingMapTest, SimpleTranslation)
+{
+    BackingMap map;
+    map.add(0x10000, 0x4000, 0x90000);
+    EXPECT_EQ(map.toHpa(0x10000).value(), 0x90000u);
+    EXPECT_EQ(map.toHpa(0x13fff).value(), 0x93fffu);
+    EXPECT_FALSE(map.toHpa(0x14000).has_value());
+    EXPECT_FALSE(map.toHpa(0xffff).has_value());
+}
+
+TEST(BackingMapTest, CoalescesContiguousInBothSpaces)
+{
+    BackingMap map;
+    map.add(0, 0x1000, 0x10000);
+    map.add(0x1000, 0x1000, 0x11000);
+    EXPECT_EQ(map.extentCount(), 1u);
+    EXPECT_EQ(map.totalBytes(), 0x2000u);
+}
+
+TEST(BackingMapTest, NoCoalesceWhenHostDiscontiguous)
+{
+    BackingMap map;
+    map.add(0, 0x1000, 0x10000);
+    map.add(0x1000, 0x1000, 0x20000);  // gPA adjacent, hPA not.
+    EXPECT_EQ(map.extentCount(), 2u);
+    EXPECT_EQ(map.toHpa(0x1000).value(), 0x20000u);
+}
+
+TEST(BackingMapTest, CoalescesWithPredecessorOnInsertBetween)
+{
+    BackingMap map;
+    map.add(0, 0x1000, 0x10000);
+    map.add(0x2000, 0x1000, 0x12000);
+    map.add(0x1000, 0x1000, 0x11000);  // Bridges both neighbours.
+    EXPECT_EQ(map.extentCount(), 1u);
+    EXPECT_EQ(map.totalBytes(), 0x3000u);
+}
+
+TEST(BackingMapTest, RemoveSplitsExtent)
+{
+    BackingMap map;
+    map.add(0, 0x10000, 0x50000);
+    map.remove(0x4000, 0x2000);
+    EXPECT_EQ(map.extentCount(), 2u);
+    EXPECT_EQ(map.toHpa(0x3fff).value(), 0x53fffu);
+    EXPECT_FALSE(map.toHpa(0x4000).has_value());
+    EXPECT_FALSE(map.toHpa(0x5fff).has_value());
+    EXPECT_EQ(map.toHpa(0x6000).value(), 0x56000u);
+}
+
+TEST(BackingMapTest, RemoveAcrossExtents)
+{
+    BackingMap map;
+    map.add(0, 0x2000, 0x10000);
+    map.add(0x4000, 0x2000, 0x20000);
+    map.remove(0x1000, 0x4000);
+    EXPECT_EQ(map.totalBytes(), 0x2000u);
+    EXPECT_TRUE(map.toHpa(0).has_value());
+    EXPECT_TRUE(map.toHpa(0x5000).has_value());
+}
+
+TEST(BackingMapTest, CoveredRequiresFullBacking)
+{
+    BackingMap map;
+    map.add(0, 0x2000, 0x10000);
+    map.add(0x2000, 0x2000, 0x30000);  // Separate extent.
+    EXPECT_TRUE(map.covered(0, 0x4000));
+    map.remove(0x2000, kPage4K);
+    EXPECT_FALSE(map.covered(0, 0x4000));
+}
+
+TEST(BackingMapTest, LargestExtent)
+{
+    BackingMap map;
+    map.add(0, 0x1000, 0x10000);
+    map.add(0x10000, 0x8000, 0x40000);
+    auto largest = map.largestExtent();
+    ASSERT_TRUE(largest.has_value());
+    EXPECT_EQ(largest->gpa, 0x10000u);
+    EXPECT_EQ(largest->bytes, 0x8000u);
+    EXPECT_EQ(largest->hpa, 0x40000u);
+}
+
+TEST(BackingMapTest, ForEachInClipsToRange)
+{
+    BackingMap map;
+    map.add(0, 0x4000, 0x10000);
+    map.add(0x8000, 0x4000, 0x20000);
+    std::vector<Extent> seen;
+    map.forEachIn(0x2000, 0x8000,
+                  [&](const Extent &e) { seen.push_back(e); });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].gpa, 0x2000u);
+    EXPECT_EQ(seen[0].bytes, 0x2000u);
+    EXPECT_EQ(seen[0].hpa, 0x12000u);
+    EXPECT_EQ(seen[1].gpa, 0x8000u);
+    EXPECT_EQ(seen[1].bytes, 0x2000u);
+}
+
+TEST(BackingMapDeathTest, OverlappingAddPanics)
+{
+    BackingMap map;
+    map.add(0, 0x4000, 0x10000);
+    EXPECT_DEATH(map.add(0x2000, 0x1000, 0x50000), "overlaps");
+}
+
+} // namespace
+} // namespace emv::vmm

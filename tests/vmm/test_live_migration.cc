@@ -1,0 +1,150 @@
+/** @file Unit tests for pre-copy live migration and VMM swapping
+ *  (the Table II services the modes trade away). */
+
+#include <gtest/gtest.h>
+
+#include "vmm/live_migration.hh"
+#include "vmm/vmm.hh"
+
+namespace emv::vmm {
+namespace {
+
+class LiveMigrationTest : public ::testing::Test
+{
+  protected:
+    static constexpr Addr kHostRam = 1 * GiB;
+
+    LiveMigrationTest() : host(kHostRam), vmm(host, kHostRam) {}
+
+    Vm &
+    makeVm(const char *name)
+    {
+        VmConfig cfg;
+        cfg.ramBytes = 128 * MiB;
+        cfg.lowRamBytes = 32 * MiB;
+        cfg.ioGapStart = 32 * MiB;
+        cfg.ioGapEnd = 64 * MiB;
+        return vmm.createVm(name, cfg);
+    }
+
+    mem::PhysMemory host;
+    Vmm vmm;
+};
+
+TEST_F(LiveMigrationTest, FullImageMigrates)
+{
+    auto &src = makeVm("src");
+    auto &dst = makeVm("dst");
+    for (Addr gpa = 64 * MiB; gpa < 96 * MiB; gpa += kPage4K)
+        src.guestPhys().write64(gpa, gpa * 3 + 1);
+
+    LiveMigration migration(src, dst);
+    ASSERT_TRUE(migration.begin());
+    const auto copied = migration.copyRound();
+    EXPECT_EQ(copied, src.backingMap().totalBytes() / kPage4K);
+    EXPECT_TRUE(migration.verify());
+    // Destination really holds the bytes.
+    EXPECT_EQ(dst.guestPhys().read64(80 * MiB), 80 * MiB * 3 + 1);
+}
+
+TEST_F(LiveMigrationTest, DirtyRoundsConverge)
+{
+    auto &src = makeVm("src");
+    auto &dst = makeVm("dst");
+    for (Addr gpa = 64 * MiB; gpa < 80 * MiB; gpa += kPage4K)
+        src.guestPhys().write64(gpa, gpa);
+
+    LiveMigration migration(src, dst);
+    ASSERT_TRUE(migration.begin());
+    migration.copyRound();
+
+    // The guest keeps writing during migration.
+    for (Addr gpa = 70 * MiB; gpa < 71 * MiB; gpa += kPage4K) {
+        src.guestPhys().write64(gpa, 0xd1d1d1d1);
+        migration.markDirty(gpa);
+    }
+    EXPECT_FALSE(migration.verify());  // Stale pages at dst.
+    EXPECT_EQ(migration.dirtyPages(), 256u);
+    EXPECT_FALSE(migration.converged(10));
+
+    const auto copied = migration.copyRound();
+    EXPECT_EQ(copied, 256u);
+    EXPECT_TRUE(migration.converged(10));
+    EXPECT_EQ(migration.finalRound(), 0u);
+    EXPECT_TRUE(migration.verify());
+    EXPECT_EQ(dst.guestPhys().read64(70 * MiB), 0xd1d1d1d1u);
+}
+
+TEST_F(LiveMigrationTest, RefusedUnderActiveVmmSegment)
+{
+    auto &src = makeVm("src");
+    auto &dst = makeVm("dst");
+    ASSERT_TRUE(src.createVmmSegment(32 * MiB).has_value());
+    LiveMigration migration(src, dst);
+    // Table II: Dual/VMM Direct's segment forbids migration.
+    EXPECT_FALSE(migration.begin());
+    EXPECT_EQ(migration.stats().counterValue(
+                  "refused_segment_active"),
+              1u);
+}
+
+TEST_F(LiveMigrationTest, BalloonedHolesStayHoles)
+{
+    auto &src = makeVm("src");
+    auto &dst = makeVm("dst");
+    std::vector<Addr> ballooned;
+    for (Addr gpa = 70 * MiB; gpa < 71 * MiB; gpa += kPage4K)
+        ballooned.push_back(gpa);
+    src.reclaimGuestPages(ballooned);
+
+    LiveMigration migration(src, dst);
+    ASSERT_TRUE(migration.begin());
+    migration.copyRound();
+    EXPECT_TRUE(migration.verify());
+}
+
+class SwapTest : public LiveMigrationTest
+{
+};
+
+TEST_F(SwapTest, SwapOutDropsBackingAndPreservesContents)
+{
+    auto &vm = makeVm("vm");
+    vm.guestPhys().write64(80 * MiB, 0xabcdef);
+    const Addr free_before = vmm.hostBuddy().freeBytes();
+    ASSERT_TRUE(vm.swapOutPage(80 * MiB));
+    EXPECT_TRUE(vm.isSwappedOut(80 * MiB));
+    EXPECT_FALSE(vm.gpaToHpa(80 * MiB).has_value());
+    EXPECT_EQ(vmm.hostBuddy().freeBytes(), free_before + kPage4K);
+
+    // The nested fault path swaps it back in with contents intact.
+    ASSERT_TRUE(vm.ensureBacked(80 * MiB));
+    EXPECT_FALSE(vm.isSwappedOut(80 * MiB));
+    EXPECT_EQ(vm.guestPhys().read64(80 * MiB), 0xabcdefu);
+    EXPECT_GT(vm.stats().counterValue("pages_swapped_in"), 0u);
+}
+
+TEST_F(SwapTest, SwapDeclinedInsideVmmSegment)
+{
+    auto &vm = makeVm("vm");
+    auto info = vm.createVmmSegment(32 * MiB);
+    ASSERT_TRUE(info.has_value());
+    const Addr inside = info->regs.base() + 4 * MiB;
+    EXPECT_FALSE(vm.swapOutPage(inside));
+    EXPECT_EQ(vm.stats().counterValue("swap_declined"), 1u);
+    // Pages outside the segment still swap.
+    Addr outside = 1 * MiB;
+    ASSERT_FALSE(info->regs.contains(outside));
+    EXPECT_TRUE(vm.swapOutPage(outside));
+}
+
+TEST_F(SwapTest, SwapUnbackedFails)
+{
+    auto &vm = makeVm("vm");
+    std::vector<Addr> pages{80 * MiB};
+    vm.reclaimGuestPages(pages);
+    EXPECT_FALSE(vm.swapOutPage(80 * MiB));
+}
+
+} // namespace
+} // namespace emv::vmm

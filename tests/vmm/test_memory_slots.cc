@@ -1,0 +1,82 @@
+/** @file Unit tests for KVM-style memory slots (Fig. 10). */
+
+#include <gtest/gtest.h>
+
+#include "vmm/memory_slots.hh"
+
+namespace emv::vmm {
+namespace {
+
+TEST(MemorySlotsTest, TwoSlotLayout)
+{
+    // The stock KVM layout: one slot below the gap, one above.
+    MemorySlots slots;
+    slots.addSlot("low", 0, 3 * GiB, 0x7f0000000000);
+    slots.addSlot("high", 4 * GiB, 4 * GiB,
+                  0x7f0000000000 + 4 * GiB);
+    EXPECT_EQ(slots.slots().size(), 2u);
+    EXPECT_TRUE(slots.gpaToHva(0).has_value());
+    EXPECT_FALSE(slots.gpaToHva(3 * GiB).has_value());  // I/O gap.
+    EXPECT_TRUE(slots.gpaToHva(5 * GiB).has_value());
+}
+
+TEST(MemorySlotsTest, TranslationIsLinearWithinSlot)
+{
+    MemorySlots slots;
+    slots.addSlot("s", 4 * GiB, 1 * GiB, 0x1000000000);
+    EXPECT_EQ(slots.gpaToHva(4 * GiB + 0x123).value(),
+              0x1000000123u);
+    EXPECT_EQ(slots.hvaToGpa(0x1000000123).value(),
+              4 * GiB + 0x123);
+}
+
+TEST(MemorySlotsTest, RoundTrip)
+{
+    MemorySlots slots;
+    slots.addSlot("a", 0, 1 * GiB, 0x100000000000);
+    slots.addSlot("b", 4 * GiB, 2 * GiB, 0x200000000000);
+    for (Addr gpa : {Addr(0), Addr(12345 * kPage4K),
+                     Addr(4 * GiB + 7 * kPage4K)}) {
+        auto hva = slots.gpaToHva(gpa);
+        ASSERT_TRUE(hva.has_value());
+        EXPECT_EQ(slots.hvaToGpa(*hva).value(), gpa);
+    }
+}
+
+TEST(MemorySlotsTest, ExtendSlot)
+{
+    // §VI.C: the second slot is extended for hot-add.
+    MemorySlots slots;
+    slots.addSlot("high", 4 * GiB, 1 * GiB, 0x1000000000);
+    EXPECT_FALSE(slots.gpaToHva(5 * GiB).has_value());
+    slots.extendSlot("high", 1 * GiB);
+    EXPECT_TRUE(slots.gpaToHva(5 * GiB).has_value());
+    EXPECT_EQ(slots.find("high")->bytes, 2 * GiB);
+}
+
+TEST(MemorySlotsTest, FindByName)
+{
+    MemorySlots slots;
+    slots.addSlot("low", 0, 1 * GiB, 0);
+    EXPECT_NE(slots.find("low"), nullptr);
+    EXPECT_EQ(slots.find("nope"), nullptr);
+}
+
+TEST(MemorySlotsDeathTest, OverlapPanics)
+{
+    MemorySlots slots;
+    slots.addSlot("a", 0, 2 * GiB, 0);
+    EXPECT_DEATH(slots.addSlot("b", 1 * GiB, 1 * GiB, 0),
+                 "overlaps");
+}
+
+TEST(MemorySlotsDeathTest, ExtensionCollisionPanics)
+{
+    MemorySlots slots;
+    slots.addSlot("a", 0, 1 * GiB, 0);
+    slots.addSlot("b", 1 * GiB, 1 * GiB, 0x100000000);
+    EXPECT_DEATH(slots.extendSlot("a", 1 * GiB), "collides");
+}
+
+} // namespace
+} // namespace emv::vmm

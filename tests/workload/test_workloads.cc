@@ -1,0 +1,219 @@
+/** @file Unit tests for the workload trace generators (Table V). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/workload.hh"
+
+namespace emv::workload {
+namespace {
+
+/** Bind a workload's regions at synthetic bases. */
+std::vector<Addr>
+bind(Workload &wl)
+{
+    std::vector<Addr> bases;
+    Addr next = 1ull << 40;
+    for (const auto &spec : wl.regions()) {
+        bases.push_back(next);
+        next += spec.bytes + (1ull << 36);
+    }
+    wl.bindRegions(bases);
+    return bases;
+}
+
+bool
+inRegions(const Workload &wl, const std::vector<Addr> &bases,
+          Addr va)
+{
+    const auto &specs = wl.regions();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (va >= bases[i] && va < bases[i] + specs[i].bytes)
+            return true;
+    }
+    return false;
+}
+
+/** Per-kind parameterized properties. */
+class WorkloadPropertyTest
+    : public ::testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(WorkloadPropertyTest, AllAccessesLieInDeclaredRegions)
+{
+    auto wl = makeWorkload(GetParam(), 1, 0.02);
+    auto bases = bind(*wl);
+    for (int i = 0; i < 50000; ++i) {
+        const Op op = wl->next();
+        if (op.kind == Op::Kind::Remap) {
+            EXPECT_TRUE(inRegions(*wl, bases, op.va));
+            EXPECT_TRUE(inRegions(*wl, bases,
+                                  op.va + op.bytes - 1));
+        } else {
+            ASSERT_TRUE(inRegions(*wl, bases, op.va))
+                << workloadName(GetParam()) << " op " << i;
+        }
+    }
+}
+
+TEST_P(WorkloadPropertyTest, DeterministicForSeed)
+{
+    auto a = makeWorkload(GetParam(), 7, 0.02);
+    auto b = makeWorkload(GetParam(), 7, 0.02);
+    bind(*a);
+    bind(*b);
+    for (int i = 0; i < 5000; ++i) {
+        const Op oa = a->next();
+        const Op ob = b->next();
+        ASSERT_EQ(oa.va, ob.va);
+        ASSERT_EQ(static_cast<int>(oa.kind),
+                  static_cast<int>(ob.kind));
+    }
+}
+
+TEST_P(WorkloadPropertyTest, ScaleControlsFootprint)
+{
+    auto small = makeWorkload(GetParam(), 1, 0.01);
+    auto large = makeWorkload(GetParam(), 1, 0.05);
+    EXPECT_LT(small->info().footprintBytes,
+              large->info().footprintBytes);
+}
+
+TEST_P(WorkloadPropertyTest, InfoIsSane)
+{
+    auto wl = makeWorkload(GetParam(), 1, 0.02);
+    EXPECT_FALSE(wl->info().name.empty());
+    EXPECT_GT(wl->info().baseCyclesPerAccess, 0.0);
+    EXPECT_GT(wl->info().footprintBytes, 0u);
+    EXPECT_EQ(wl->info().bigMemory, isBigMemory(GetParam()));
+    // Regions are 2M-aligned sizes (mapping-friendly).
+    for (const auto &spec : wl->regions())
+        EXPECT_TRUE(isAligned(spec.bytes, kPage2M));
+}
+
+TEST_P(WorkloadPropertyTest, BigMemoryWorkloadsHavePrimaryRegion)
+{
+    auto wl = makeWorkload(GetParam(), 1, 0.02);
+    bool has_primary = false;
+    for (const auto &spec : wl->regions())
+        has_primary |= spec.primary;
+    // Every workload declares one primary region (compute workloads
+    // have heaps too; DS suitability is a policy question).
+    EXPECT_TRUE(has_primary);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WorkloadPropertyTest,
+    ::testing::Values(WorkloadKind::Gups, WorkloadKind::Graph500,
+                      WorkloadKind::Memcached, WorkloadKind::NpbCg,
+                      WorkloadKind::CactusADM,
+                      WorkloadKind::GemsFDTD, WorkloadKind::Mcf,
+                      WorkloadKind::Omnetpp, WorkloadKind::Canneal,
+                      WorkloadKind::Streamcluster),
+    [](const auto &info) {
+        std::string name = workloadName(info.param);
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(WorkloadTest, GupsIsMostlyRandomReads)
+{
+    auto wl = makeWorkload(WorkloadKind::Gups, 1, 0.02);
+    bind(*wl);
+    std::set<Addr> pages;
+    int reads = 0, writes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Op op = wl->next();
+        pages.insert(op.va >> 12);
+        reads += op.kind == Op::Kind::Read ? 1 : 0;
+        writes += op.kind == Op::Kind::Write ? 1 : 0;
+    }
+    // RMW pattern: near-equal reads and writes.
+    EXPECT_NEAR(writes, reads, reads / 2);
+    // Random access: touches a large fraction of distinct pages.
+    EXPECT_GT(pages.size(), 5000u);
+}
+
+TEST(WorkloadTest, StreamclusterIsMostlySequential)
+{
+    auto wl = makeWorkload(WorkloadKind::Streamcluster, 1, 0.02);
+    bind(*wl);
+    std::set<Addr> pages;
+    for (int i = 0; i < 20000; ++i)
+        pages.insert(wl->next().va >> 12);
+    // Streaming: few distinct pages relative to access count.
+    EXPECT_LT(pages.size(), 2000u);
+}
+
+TEST(WorkloadTest, MemcachedEmitsChurn)
+{
+    auto wl = makeWorkload(WorkloadKind::Memcached, 1, 0.02);
+    bind(*wl);
+    int remaps = 0;
+    for (int i = 0; i < 600000; ++i)
+        remaps += wl->next().kind == Op::Kind::Remap ? 1 : 0;
+    EXPECT_GE(remaps, 2);
+}
+
+TEST(WorkloadTest, OmnetppChurnsFasterThanMemcached)
+{
+    auto mc = makeWorkload(WorkloadKind::Memcached, 1, 0.02);
+    auto om = makeWorkload(WorkloadKind::Omnetpp, 1, 0.02);
+    bind(*mc);
+    bind(*om);
+    int mc_remaps = 0, om_remaps = 0;
+    for (int i = 0; i < 300000; ++i) {
+        mc_remaps += mc->next().kind == Op::Kind::Remap ? 1 : 0;
+        om_remaps += om->next().kind == Op::Kind::Remap ? 1 : 0;
+    }
+    EXPECT_GT(om_remaps, mc_remaps);
+}
+
+TEST(WorkloadTest, MemcachedIsSkewed)
+{
+    auto wl = makeWorkload(WorkloadKind::Memcached, 1, 0.02);
+    bind(*wl);
+    std::map<Addr, int> page_counts;
+    for (int i = 0; i < 60000; ++i) {
+        const Op op = wl->next();
+        if (op.kind != Op::Kind::Remap)
+            ++page_counts[op.va >> 12];
+    }
+    // Zipf: the hottest page should be touched far more often than
+    // the median.
+    int hottest = 0;
+    for (const auto &[page, count] : page_counts)
+        hottest = std::max(hottest, count);
+    EXPECT_GT(hottest, 100);
+}
+
+TEST(WorkloadTest, SuiteListsMatchPaper)
+{
+    EXPECT_EQ(bigMemoryWorkloads().size(), 4u);
+    EXPECT_EQ(computeWorkloads().size(), 6u);
+    for (auto kind : bigMemoryWorkloads())
+        EXPECT_TRUE(isBigMemory(kind));
+    for (auto kind : computeWorkloads())
+        EXPECT_FALSE(isBigMemory(kind));
+}
+
+TEST(WorkloadTest, CactusStencilHasStridedNeighbours)
+{
+    auto wl = makeWorkload(WorkloadKind::CactusADM, 1, 0.05);
+    auto bases = bind(*wl);
+    // Collect the first stencil group and check plane-stride spread.
+    std::set<Addr> distinct_pages;
+    for (int i = 0; i < 7; ++i)
+        distinct_pages.insert(wl->next().va >> 12);
+    EXPECT_GE(distinct_pages.size(), 4u);
+    (void)bases;
+}
+
+} // namespace
+} // namespace emv::workload

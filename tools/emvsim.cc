@@ -1,0 +1,162 @@
+/**
+ * @file
+ * emvsim — command-line driver for one (workload, configuration)
+ * cell, with full statistics dump.
+ *
+ * Usage:
+ *   emvsim [workload=gups] [config=4K+4K] [scale=0.25]
+ *          [ops=1000000] [warmup=200000] [seed=42] [badframes=0]
+ *          [fragguest=0] [fraghost=0] [stats=1]
+ *
+ * `config` accepts the paper's labels: 4K 2M 1G THP, A+B combos,
+ * DS DD 4K+VD 4K+GD 2M+VD THP+VD sh4K sh2M ...
+ * `fragguest`/`fraghost` set the max free-run size in MB (0 = no
+ * fragmentation).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+using namespace emv;
+
+namespace {
+
+const char *
+argValue(int argc, char **argv, const char *key)
+{
+    const std::size_t len = std::strlen(key);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], key, len) == 0 &&
+            argv[i][len] == '=') {
+            return argv[i] + len + 1;
+        }
+    }
+    return nullptr;
+}
+
+std::optional<workload::WorkloadKind>
+workloadByName(const std::string &name)
+{
+    using workload::WorkloadKind;
+    for (auto kind :
+         {WorkloadKind::Gups, WorkloadKind::Graph500,
+          WorkloadKind::Memcached, WorkloadKind::NpbCg,
+          WorkloadKind::CactusADM, WorkloadKind::GemsFDTD,
+          WorkloadKind::Mcf, WorkloadKind::Omnetpp,
+          WorkloadKind::Canneal, WorkloadKind::Streamcluster}) {
+        if (name == workload::workloadName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+
+    const std::string wl_name =
+        argValue(argc, argv, "workload") ?: "gups";
+    const std::string config_label =
+        argValue(argc, argv, "config") ?: "4K+4K";
+
+    auto kind = workloadByName(wl_name);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "unknown workload '%s'; one of: gups graph500 "
+                     "memcached npb:cg cactusADM GemsFDTD mcf "
+                     "omnetpp canneal streamcluster\n",
+                     wl_name.c_str());
+        return 1;
+    }
+    auto spec = sim::specFromLabel(config_label);
+    if (!spec) {
+        std::fprintf(stderr, "unknown config label '%s'\n",
+                     config_label.c_str());
+        return 1;
+    }
+
+    sim::RunParams params;
+    params.scale = 0.25;
+    params.warmupOps = 200000;
+    params.measureOps = 1000000;
+    if (const char *v = argValue(argc, argv, "scale"))
+        params.scale = std::atof(v);
+    if (const char *v = argValue(argc, argv, "ops"))
+        params.measureOps = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "warmup"))
+        params.warmupOps = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "seed"))
+        params.seed = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "badframes"))
+        params.badFrames = static_cast<unsigned>(std::atoi(v));
+
+    auto wl = workload::makeWorkload(*kind, params.seed,
+                                     params.scale);
+    auto cfg = sim::makeMachineConfig(*spec, params);
+    if (const char *v = argValue(argc, argv, "fragguest")) {
+        if (std::atoi(v) > 0) {
+            cfg.guestFragmentation.enabled = true;
+            cfg.guestFragmentation.maxRunBytes =
+                static_cast<Addr>(std::atoi(v)) * MiB;
+        }
+    }
+    if (const char *v = argValue(argc, argv, "fraghost")) {
+        if (std::atoi(v) > 0) {
+            cfg.hostFragmentation.enabled = true;
+            cfg.hostFragmentation.maxRunBytes =
+                static_cast<Addr>(std::atoi(v)) * MiB;
+            cfg.contiguousHostReservation = false;
+        }
+    }
+
+    std::printf("emvsim: %s under %s (scale=%.3g, %s footprint)\n",
+                wl->info().name.c_str(), config_label.c_str(),
+                params.scale,
+                sim::bytesStr(wl->info().footprintBytes).c_str());
+
+    sim::Machine machine(cfg, *wl);
+    machine.run(params.warmupOps);
+    machine.resetStats();
+    auto run = machine.run(params.measureOps);
+
+    std::printf("\n-- results --\n");
+    std::printf("translation overhead: %s\n",
+                sim::pct(run.translationOverhead()).c_str());
+    std::printf("total overhead:       %s\n",
+                sim::pct(run.totalOverhead()).c_str());
+    std::printf("L1 misses:            %llu\n",
+                static_cast<unsigned long long>(run.l1Misses));
+    std::printf("L2 misses (walks):    %llu (%llu)\n",
+                static_cast<unsigned long long>(run.l2Misses),
+                static_cast<unsigned long long>(run.walks));
+    std::printf("cycles per walk:      %.1f\n", run.cyclesPerWalk);
+    std::printf("coverage F_VD/F_GD/F_DD: %s / %s / %s\n",
+                sim::pct(run.fractionVmmOnly).c_str(),
+                sim::pct(run.fractionGuestOnly).c_str(),
+                sim::pct(run.fractionBoth).c_str());
+    std::printf("guest segment: %s\nVMM segment:   %s\n",
+                machine.guestSegment().toString().c_str(),
+                machine.vmmSegment().toString().c_str());
+
+    const char *stats_arg = argValue(argc, argv, "stats");
+    if (!stats_arg || std::atoi(stats_arg) != 0) {
+        std::printf("\n-- mmu counters --\n");
+        machine.mmu().stats().dump(std::cout);
+        if (machine.vm()) {
+            std::printf("\n-- vm counters --\n");
+            machine.vm()->stats().dump(std::cout);
+        }
+        std::printf("\n-- os counters --\n");
+        machine.os().stats().dump(std::cout);
+    }
+    return 0;
+}
