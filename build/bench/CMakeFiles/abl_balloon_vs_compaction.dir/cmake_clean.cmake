@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_balloon_vs_compaction.dir/abl_balloon_vs_compaction.cc.o"
+  "CMakeFiles/abl_balloon_vs_compaction.dir/abl_balloon_vs_compaction.cc.o.d"
+  "abl_balloon_vs_compaction"
+  "abl_balloon_vs_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_balloon_vs_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

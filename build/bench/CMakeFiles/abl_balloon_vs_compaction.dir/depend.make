@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_balloon_vs_compaction.
+# This may be replaced when dependencies are built.

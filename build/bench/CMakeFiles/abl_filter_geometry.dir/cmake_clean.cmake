@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_filter_geometry.dir/abl_filter_geometry.cc.o"
+  "CMakeFiles/abl_filter_geometry.dir/abl_filter_geometry.cc.o.d"
+  "abl_filter_geometry"
+  "abl_filter_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_filter_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_l2_shared_nested.dir/abl_l2_shared_nested.cc.o"
+  "CMakeFiles/abl_l2_shared_nested.dir/abl_l2_shared_nested.cc.o.d"
+  "abl_l2_shared_nested"
+  "abl_l2_shared_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l2_shared_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_l2_shared_nested.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_walk_cache.dir/abl_walk_cache.cc.o"
+  "CMakeFiles/abl_walk_cache.dir/abl_walk_cache.cc.o.d"
+  "abl_walk_cache"
+  "abl_walk_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_walk_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_preview.dir/fig01_preview.cc.o"
+  "CMakeFiles/fig01_preview.dir/fig01_preview.cc.o.d"
+  "fig01_preview"
+  "fig01_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_walk_refs.dir/fig02_walk_refs.cc.o"
+  "CMakeFiles/fig02_walk_refs.dir/fig02_walk_refs.cc.o.d"
+  "fig02_walk_refs"
+  "fig02_walk_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_walk_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bigmemory.dir/fig11_bigmemory.cc.o"
+  "CMakeFiles/fig11_bigmemory.dir/fig11_bigmemory.cc.o.d"
+  "fig11_bigmemory"
+  "fig11_bigmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bigmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compute.dir/fig12_compute.cc.o"
+  "CMakeFiles/fig12_compute.dir/fig12_compute.cc.o.d"
+  "fig12_compute"
+  "fig12_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_escape_filter.dir/fig13_escape_filter.cc.o"
+  "CMakeFiles/fig13_escape_filter.dir/fig13_escape_filter.cc.o.d"
+  "fig13_escape_filter"
+  "fig13_escape_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_escape_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

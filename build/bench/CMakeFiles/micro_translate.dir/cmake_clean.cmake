@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_translate.dir/micro_translate.cc.o"
+  "CMakeFiles/micro_translate.dir/micro_translate.cc.o.d"
+  "micro_translate"
+  "micro_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec08_cost_breakdown.dir/sec08_cost_breakdown.cc.o"
+  "CMakeFiles/sec08_cost_breakdown.dir/sec08_cost_breakdown.cc.o.d"
+  "sec08_cost_breakdown"
+  "sec08_cost_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec08_cost_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

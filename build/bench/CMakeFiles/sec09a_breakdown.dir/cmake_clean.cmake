@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec09a_breakdown.dir/sec09a_breakdown.cc.o"
+  "CMakeFiles/sec09a_breakdown.dir/sec09a_breakdown.cc.o.d"
+  "sec09a_breakdown"
+  "sec09a_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec09a_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec09d_shadow.dir/sec09d_shadow.cc.o"
+  "CMakeFiles/sec09d_shadow.dir/sec09d_shadow.cc.o.d"
+  "sec09d_shadow"
+  "sec09d_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec09d_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

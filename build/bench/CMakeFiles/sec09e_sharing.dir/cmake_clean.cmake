@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec09e_sharing.dir/sec09e_sharing.cc.o"
+  "CMakeFiles/sec09e_sharing.dir/sec09e_sharing.cc.o.d"
+  "sec09e_sharing"
+  "sec09e_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec09e_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_categories.dir/tab01_categories.cc.o"
+  "CMakeFiles/tab01_categories.dir/tab01_categories.cc.o.d"
+  "tab01_categories"
+  "tab01_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

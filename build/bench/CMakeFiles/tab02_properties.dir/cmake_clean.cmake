@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_properties.dir/tab02_properties.cc.o"
+  "CMakeFiles/tab02_properties.dir/tab02_properties.cc.o.d"
+  "tab02_properties"
+  "tab02_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

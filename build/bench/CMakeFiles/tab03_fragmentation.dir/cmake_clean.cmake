@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_fragmentation.dir/tab03_fragmentation.cc.o"
+  "CMakeFiles/tab03_fragmentation.dir/tab03_fragmentation.cc.o.d"
+  "tab03_fragmentation"
+  "tab03_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

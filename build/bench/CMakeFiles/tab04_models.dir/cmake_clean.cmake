@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_models.dir/tab04_models.cc.o"
+  "CMakeFiles/tab04_models.dir/tab04_models.cc.o.d"
+  "tab04_models"
+  "tab04_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigmemory_vm.dir/bigmemory_vm.cpp.o"
+  "CMakeFiles/bigmemory_vm.dir/bigmemory_vm.cpp.o.d"
+  "bigmemory_vm"
+  "bigmemory_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigmemory_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bigmemory_vm.
+# This may be replaced when dependencies are built.

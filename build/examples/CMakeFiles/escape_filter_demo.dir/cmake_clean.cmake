@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_filter_demo.dir/escape_filter_demo.cpp.o"
+  "CMakeFiles/escape_filter_demo.dir/escape_filter_demo.cpp.o.d"
+  "escape_filter_demo"
+  "escape_filter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_filter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

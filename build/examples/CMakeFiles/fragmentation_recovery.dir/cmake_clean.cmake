@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_recovery.dir/fragmentation_recovery.cpp.o"
+  "CMakeFiles/fragmentation_recovery.dir/fragmentation_recovery.cpp.o.d"
+  "fragmentation_recovery"
+  "fragmentation_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/h3_hash.cc" "src/CMakeFiles/emv.dir/common/h3_hash.cc.o" "gcc" "src/CMakeFiles/emv.dir/common/h3_hash.cc.o.d"
+  "/root/repo/src/common/intervals.cc" "src/CMakeFiles/emv.dir/common/intervals.cc.o" "gcc" "src/CMakeFiles/emv.dir/common/intervals.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/emv.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/emv.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/emv.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/emv.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/emv.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/emv.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/emv.dir/common/types.cc.o" "gcc" "src/CMakeFiles/emv.dir/common/types.cc.o.d"
+  "/root/repo/src/core/linear_model.cc" "src/CMakeFiles/emv.dir/core/linear_model.cc.o" "gcc" "src/CMakeFiles/emv.dir/core/linear_model.cc.o.d"
+  "/root/repo/src/core/mmu.cc" "src/CMakeFiles/emv.dir/core/mmu.cc.o" "gcc" "src/CMakeFiles/emv.dir/core/mmu.cc.o.d"
+  "/root/repo/src/core/mode.cc" "src/CMakeFiles/emv.dir/core/mode.cc.o" "gcc" "src/CMakeFiles/emv.dir/core/mode.cc.o.d"
+  "/root/repo/src/mem/buddy_allocator.cc" "src/CMakeFiles/emv.dir/mem/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/emv.dir/mem/buddy_allocator.cc.o.d"
+  "/root/repo/src/mem/fragmenter.cc" "src/CMakeFiles/emv.dir/mem/fragmenter.cc.o" "gcc" "src/CMakeFiles/emv.dir/mem/fragmenter.cc.o.d"
+  "/root/repo/src/mem/phys_memory.cc" "src/CMakeFiles/emv.dir/mem/phys_memory.cc.o" "gcc" "src/CMakeFiles/emv.dir/mem/phys_memory.cc.o.d"
+  "/root/repo/src/os/balloon.cc" "src/CMakeFiles/emv.dir/os/balloon.cc.o" "gcc" "src/CMakeFiles/emv.dir/os/balloon.cc.o.d"
+  "/root/repo/src/os/compaction.cc" "src/CMakeFiles/emv.dir/os/compaction.cc.o" "gcc" "src/CMakeFiles/emv.dir/os/compaction.cc.o.d"
+  "/root/repo/src/os/guest_os.cc" "src/CMakeFiles/emv.dir/os/guest_os.cc.o" "gcc" "src/CMakeFiles/emv.dir/os/guest_os.cc.o.d"
+  "/root/repo/src/os/hotplug.cc" "src/CMakeFiles/emv.dir/os/hotplug.cc.o" "gcc" "src/CMakeFiles/emv.dir/os/hotplug.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/emv.dir/os/process.cc.o" "gcc" "src/CMakeFiles/emv.dir/os/process.cc.o.d"
+  "/root/repo/src/paging/nested_walker.cc" "src/CMakeFiles/emv.dir/paging/nested_walker.cc.o" "gcc" "src/CMakeFiles/emv.dir/paging/nested_walker.cc.o.d"
+  "/root/repo/src/paging/page_table.cc" "src/CMakeFiles/emv.dir/paging/page_table.cc.o" "gcc" "src/CMakeFiles/emv.dir/paging/page_table.cc.o.d"
+  "/root/repo/src/paging/walker.cc" "src/CMakeFiles/emv.dir/paging/walker.cc.o" "gcc" "src/CMakeFiles/emv.dir/paging/walker.cc.o.d"
+  "/root/repo/src/segment/direct_segment.cc" "src/CMakeFiles/emv.dir/segment/direct_segment.cc.o" "gcc" "src/CMakeFiles/emv.dir/segment/direct_segment.cc.o.d"
+  "/root/repo/src/segment/escape_filter.cc" "src/CMakeFiles/emv.dir/segment/escape_filter.cc.o" "gcc" "src/CMakeFiles/emv.dir/segment/escape_filter.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/emv.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/emv.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/emv.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/emv.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/emv.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/emv.dir/sim/report.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/emv.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/emv.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/tlb/tlb_hierarchy.cc" "src/CMakeFiles/emv.dir/tlb/tlb_hierarchy.cc.o" "gcc" "src/CMakeFiles/emv.dir/tlb/tlb_hierarchy.cc.o.d"
+  "/root/repo/src/tlb/walk_cache.cc" "src/CMakeFiles/emv.dir/tlb/walk_cache.cc.o" "gcc" "src/CMakeFiles/emv.dir/tlb/walk_cache.cc.o.d"
+  "/root/repo/src/vmm/backing_map.cc" "src/CMakeFiles/emv.dir/vmm/backing_map.cc.o" "gcc" "src/CMakeFiles/emv.dir/vmm/backing_map.cc.o.d"
+  "/root/repo/src/vmm/live_migration.cc" "src/CMakeFiles/emv.dir/vmm/live_migration.cc.o" "gcc" "src/CMakeFiles/emv.dir/vmm/live_migration.cc.o.d"
+  "/root/repo/src/vmm/memory_slots.cc" "src/CMakeFiles/emv.dir/vmm/memory_slots.cc.o" "gcc" "src/CMakeFiles/emv.dir/vmm/memory_slots.cc.o.d"
+  "/root/repo/src/vmm/page_sharing.cc" "src/CMakeFiles/emv.dir/vmm/page_sharing.cc.o" "gcc" "src/CMakeFiles/emv.dir/vmm/page_sharing.cc.o.d"
+  "/root/repo/src/vmm/shadow_pager.cc" "src/CMakeFiles/emv.dir/vmm/shadow_pager.cc.o" "gcc" "src/CMakeFiles/emv.dir/vmm/shadow_pager.cc.o.d"
+  "/root/repo/src/vmm/vmm.cc" "src/CMakeFiles/emv.dir/vmm/vmm.cc.o" "gcc" "src/CMakeFiles/emv.dir/vmm/vmm.cc.o.d"
+  "/root/repo/src/workload/graph500.cc" "src/CMakeFiles/emv.dir/workload/graph500.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/graph500.cc.o.d"
+  "/root/repo/src/workload/gups.cc" "src/CMakeFiles/emv.dir/workload/gups.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/gups.cc.o.d"
+  "/root/repo/src/workload/memcached.cc" "src/CMakeFiles/emv.dir/workload/memcached.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/memcached.cc.o.d"
+  "/root/repo/src/workload/npb_cg.cc" "src/CMakeFiles/emv.dir/workload/npb_cg.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/npb_cg.cc.o.d"
+  "/root/repo/src/workload/parsec.cc" "src/CMakeFiles/emv.dir/workload/parsec.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/parsec.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/emv.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/spec.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/emv.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/emv.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_h3_hash.cc.o"
+  "CMakeFiles/test_common.dir/common/test_h3_hash.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_intervals.cc.o"
+  "CMakeFiles/test_common.dir/common/test_intervals.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_intervals_fit.cc.o"
+  "CMakeFiles/test_common.dir/common/test_intervals_fit.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_types.cc.o"
+  "CMakeFiles/test_common.dir/common/test_types.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_context_switch.cc" "tests/CMakeFiles/test_core.dir/core/test_context_switch.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_context_switch.cc.o.d"
+  "/root/repo/tests/core/test_guard_pages.cc" "tests/CMakeFiles/test_core.dir/core/test_guard_pages.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_guard_pages.cc.o.d"
+  "/root/repo/tests/core/test_linear_model.cc" "tests/CMakeFiles/test_core.dir/core/test_linear_model.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_linear_model.cc.o.d"
+  "/root/repo/tests/core/test_mmu.cc" "tests/CMakeFiles/test_core.dir/core/test_mmu.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mmu.cc.o.d"
+  "/root/repo/tests/core/test_mode.cc" "tests/CMakeFiles/test_core.dir/core/test_mode.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_context_switch.cc.o"
+  "CMakeFiles/test_core.dir/core/test_context_switch.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_guard_pages.cc.o"
+  "CMakeFiles/test_core.dir/core/test_guard_pages.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_linear_model.cc.o"
+  "CMakeFiles/test_core.dir/core/test_linear_model.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_mmu.cc.o"
+  "CMakeFiles/test_core.dir/core/test_mmu.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_mode.cc.o"
+  "CMakeFiles/test_core.dir/core/test_mode.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

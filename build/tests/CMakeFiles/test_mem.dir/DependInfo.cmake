@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_buddy_allocator.cc" "tests/CMakeFiles/test_mem.dir/mem/test_buddy_allocator.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_buddy_allocator.cc.o.d"
+  "/root/repo/tests/mem/test_fragmenter.cc" "tests/CMakeFiles/test_mem.dir/mem/test_fragmenter.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_fragmenter.cc.o.d"
+  "/root/repo/tests/mem/test_phys_memory.cc" "tests/CMakeFiles/test_mem.dir/mem/test_phys_memory.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_phys_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

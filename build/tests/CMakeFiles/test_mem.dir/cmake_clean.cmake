@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_buddy_allocator.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_buddy_allocator.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_fragmenter.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_fragmenter.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_phys_memory.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_phys_memory.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

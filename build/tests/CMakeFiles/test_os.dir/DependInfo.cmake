@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/test_balloon.cc" "tests/CMakeFiles/test_os.dir/os/test_balloon.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_balloon.cc.o.d"
+  "/root/repo/tests/os/test_compaction.cc" "tests/CMakeFiles/test_os.dir/os/test_compaction.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_compaction.cc.o.d"
+  "/root/repo/tests/os/test_guest_os.cc" "tests/CMakeFiles/test_os.dir/os/test_guest_os.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_guest_os.cc.o.d"
+  "/root/repo/tests/os/test_kernel_pool.cc" "tests/CMakeFiles/test_os.dir/os/test_kernel_pool.cc.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_kernel_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/test_balloon.cc.o"
+  "CMakeFiles/test_os.dir/os/test_balloon.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_compaction.cc.o"
+  "CMakeFiles/test_os.dir/os/test_compaction.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_guest_os.cc.o"
+  "CMakeFiles/test_os.dir/os/test_guest_os.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_kernel_pool.cc.o"
+  "CMakeFiles/test_os.dir/os/test_kernel_pool.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

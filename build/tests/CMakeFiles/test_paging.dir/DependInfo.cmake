@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/paging/test_nested_walker.cc" "tests/CMakeFiles/test_paging.dir/paging/test_nested_walker.cc.o" "gcc" "tests/CMakeFiles/test_paging.dir/paging/test_nested_walker.cc.o.d"
+  "/root/repo/tests/paging/test_page_table.cc" "tests/CMakeFiles/test_paging.dir/paging/test_page_table.cc.o" "gcc" "tests/CMakeFiles/test_paging.dir/paging/test_page_table.cc.o.d"
+  "/root/repo/tests/paging/test_pte.cc" "tests/CMakeFiles/test_paging.dir/paging/test_pte.cc.o" "gcc" "tests/CMakeFiles/test_paging.dir/paging/test_pte.cc.o.d"
+  "/root/repo/tests/paging/test_walk_properties.cc" "tests/CMakeFiles/test_paging.dir/paging/test_walk_properties.cc.o" "gcc" "tests/CMakeFiles/test_paging.dir/paging/test_walk_properties.cc.o.d"
+  "/root/repo/tests/paging/test_walker.cc" "tests/CMakeFiles/test_paging.dir/paging/test_walker.cc.o" "gcc" "tests/CMakeFiles/test_paging.dir/paging/test_walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

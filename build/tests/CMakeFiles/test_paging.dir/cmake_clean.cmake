@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paging.dir/paging/test_nested_walker.cc.o"
+  "CMakeFiles/test_paging.dir/paging/test_nested_walker.cc.o.d"
+  "CMakeFiles/test_paging.dir/paging/test_page_table.cc.o"
+  "CMakeFiles/test_paging.dir/paging/test_page_table.cc.o.d"
+  "CMakeFiles/test_paging.dir/paging/test_pte.cc.o"
+  "CMakeFiles/test_paging.dir/paging/test_pte.cc.o.d"
+  "CMakeFiles/test_paging.dir/paging/test_walk_properties.cc.o"
+  "CMakeFiles/test_paging.dir/paging/test_walk_properties.cc.o.d"
+  "CMakeFiles/test_paging.dir/paging/test_walker.cc.o"
+  "CMakeFiles/test_paging.dir/paging/test_walker.cc.o.d"
+  "test_paging"
+  "test_paging.pdb"
+  "test_paging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/segment/test_direct_segment.cc" "tests/CMakeFiles/test_segment.dir/segment/test_direct_segment.cc.o" "gcc" "tests/CMakeFiles/test_segment.dir/segment/test_direct_segment.cc.o.d"
+  "/root/repo/tests/segment/test_escape_filter.cc" "tests/CMakeFiles/test_segment.dir/segment/test_escape_filter.cc.o" "gcc" "tests/CMakeFiles/test_segment.dir/segment/test_escape_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_experiment.cc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cc.o.d"
+  "/root/repo/tests/sim/test_integration.cc" "tests/CMakeFiles/test_sim.dir/sim/test_integration.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_integration.cc.o.d"
+  "/root/repo/tests/sim/test_machine.cc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cc.o.d"
+  "/root/repo/tests/sim/test_machine_pagesizes.cc" "tests/CMakeFiles/test_sim.dir/sim/test_machine_pagesizes.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine_pagesizes.cc.o.d"
+  "/root/repo/tests/sim/test_report.cc" "tests/CMakeFiles/test_sim.dir/sim/test_report.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_integration.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_integration.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine_pagesizes.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine_pagesizes.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_report.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_report.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb.dir/tlb/test_tlb.cc.o"
+  "CMakeFiles/test_tlb.dir/tlb/test_tlb.cc.o.d"
+  "CMakeFiles/test_tlb.dir/tlb/test_tlb_hierarchy.cc.o"
+  "CMakeFiles/test_tlb.dir/tlb/test_tlb_hierarchy.cc.o.d"
+  "CMakeFiles/test_tlb.dir/tlb/test_walk_cache.cc.o"
+  "CMakeFiles/test_tlb.dir/tlb/test_walk_cache.cc.o.d"
+  "test_tlb"
+  "test_tlb.pdb"
+  "test_tlb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

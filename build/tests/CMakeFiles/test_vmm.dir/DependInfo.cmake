@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vmm/test_backing_map.cc" "tests/CMakeFiles/test_vmm.dir/vmm/test_backing_map.cc.o" "gcc" "tests/CMakeFiles/test_vmm.dir/vmm/test_backing_map.cc.o.d"
+  "/root/repo/tests/vmm/test_live_migration.cc" "tests/CMakeFiles/test_vmm.dir/vmm/test_live_migration.cc.o" "gcc" "tests/CMakeFiles/test_vmm.dir/vmm/test_live_migration.cc.o.d"
+  "/root/repo/tests/vmm/test_memory_slots.cc" "tests/CMakeFiles/test_vmm.dir/vmm/test_memory_slots.cc.o" "gcc" "tests/CMakeFiles/test_vmm.dir/vmm/test_memory_slots.cc.o.d"
+  "/root/repo/tests/vmm/test_page_sharing.cc" "tests/CMakeFiles/test_vmm.dir/vmm/test_page_sharing.cc.o" "gcc" "tests/CMakeFiles/test_vmm.dir/vmm/test_page_sharing.cc.o.d"
+  "/root/repo/tests/vmm/test_shadow_pager.cc" "tests/CMakeFiles/test_vmm.dir/vmm/test_shadow_pager.cc.o" "gcc" "tests/CMakeFiles/test_vmm.dir/vmm/test_shadow_pager.cc.o.d"
+  "/root/repo/tests/vmm/test_vmm.cc" "tests/CMakeFiles/test_vmm.dir/vmm/test_vmm.cc.o" "gcc" "tests/CMakeFiles/test_vmm.dir/vmm/test_vmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

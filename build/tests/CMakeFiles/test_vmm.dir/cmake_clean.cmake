@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm.dir/vmm/test_backing_map.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_backing_map.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_live_migration.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_live_migration.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_memory_slots.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_memory_slots.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_page_sharing.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_page_sharing.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_shadow_pager.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_shadow_pager.cc.o.d"
+  "CMakeFiles/test_vmm.dir/vmm/test_vmm.cc.o"
+  "CMakeFiles/test_vmm.dir/vmm/test_vmm.cc.o.d"
+  "test_vmm"
+  "test_vmm.pdb"
+  "test_vmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

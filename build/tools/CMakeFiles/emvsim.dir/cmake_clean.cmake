@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emvsim.dir/emvsim.cc.o"
+  "CMakeFiles/emvsim.dir/emvsim.cc.o.d"
+  "emvsim"
+  "emvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
