@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "workload/workload.hh"
@@ -26,6 +27,7 @@ runOverheadMatrix(const std::string &title,
                   const std::vector<sim::ConfigSpec> &configs,
                   const sim::RunParams &params)
 {
+    params.applyObservability();
     std::printf("%s\n", title.c_str());
     std::printf("(scale=%.3g warmup=%llu ops=%llu seed=%llu)\n\n",
                 params.scale,
@@ -38,17 +40,36 @@ runOverheadMatrix(const std::string &title,
         headers.emplace_back(workload::workloadName(kind));
     sim::Table table(headers);
 
+    std::vector<sim::CellResult> cells;
     for (const auto &spec : configs) {
         std::vector<std::string> row{spec.label};
         for (auto kind : kinds) {
             auto cell = sim::runCell(kind, spec, params);
             row.push_back(sim::pct(cell.overhead()));
+            cells.push_back(std::move(cell));
             std::fprintf(stderr, ".");
         }
         table.addRow(std::move(row));
         std::fprintf(stderr, " %s\n", spec.label.c_str());
     }
     table.print(std::cout);
+
+    // Machine-readable companion next to the text table, so plots
+    // never have to scrape stdout.
+    const std::string json_path =
+        "BENCH_" + sim::slugify(title) + ".json";
+    if (sim::writeCellMatrixJson(json_path, title, cells))
+        std::printf("\nwrote %s\n", json_path.c_str());
+    else
+        emv_warn("cannot write %s", json_path.c_str());
+
+    if (!params.statsJsonPath.empty() &&
+        !sim::writeStatsJson(params.statsJsonPath))
+        emv_warn("cannot write %s", params.statsJsonPath.c_str());
+    if (params.profile) {
+        std::printf("\n");
+        prof::report(std::cout);
+    }
 }
 
 } // namespace emv::bench

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tiny header-only JSON writer, validator and reader.
+ *
+ * The observability layer (stat export, bench artifacts, the emvsim
+ * smoke test) needs machine-readable output without external
+ * dependencies.  This implements the minimum honestly: a streaming
+ * writer with correct string/number escaping, and a strict
+ * recursive-descent parser used both as a well-formedness checker
+ * and to read values back in tests (round-tripping the exported
+ * stats).  Numbers parse to double; integers up to 2^53 survive
+ * exactly, which covers every counter the simulator emits in
+ * practice.
+ */
+
+#ifndef EMV_COMMON_JSON_HH
+#define EMV_COMMON_JSON_HH
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace emv::json {
+
+/**
+ * Streaming writer.  Callers open/close objects and arrays; the
+ * writer tracks nesting and comma placement.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os, bool pretty = true)
+        : os(os), pretty(pretty)
+    {
+    }
+
+    Writer &beginObject() { open('{'); return *this; }
+    Writer &endObject() { close('}'); return *this; }
+    Writer &beginArray() { open('['); return *this; }
+    Writer &endArray() { close(']'); return *this; }
+
+    /** Key of the next member (objects only). */
+    Writer &
+    key(const std::string &name)
+    {
+        separate();
+        writeString(name);
+        os << (pretty ? ": " : ":");
+        pendingKey = true;
+        return *this;
+    }
+
+    Writer &value(const std::string &s) { separate(); writeString(s); return *this; }
+    Writer &value(const char *s) { return value(std::string(s)); }
+    Writer &value(bool b) { separate(); os << (b ? "true" : "false"); return *this; }
+
+    Writer &
+    value(double d)
+    {
+        separate();
+        if (!std::isfinite(d)) {
+            // JSON has no NaN/Inf; emit null rather than garbage.
+            os << "null";
+            return *this;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        os << buf;
+        return *this;
+    }
+
+    Writer &
+    value(std::uint64_t u)
+    {
+        separate();
+        os << u;
+        return *this;
+    }
+
+    Writer &value(std::int64_t i) { separate(); os << i; return *this; }
+    Writer &value(int i) { return value(static_cast<std::int64_t>(i)); }
+    Writer &value(unsigned u) { return value(static_cast<std::uint64_t>(u)); }
+
+    /** key + value in one call. */
+    template <typename T>
+    Writer &
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Terminate the document with a newline (files end cleanly). */
+    void finish() { os << '\n'; }
+
+  private:
+    void
+    open(char c)
+    {
+        separate();
+        os << c;
+        stack.push_back(c);
+        first = true;
+    }
+
+    void
+    close(char c)
+    {
+        stack.pop_back();
+        if (pretty && !first)
+            indent();
+        os << c;
+        first = false;
+    }
+
+    /** Comma/newline bookkeeping before any value or key. */
+    void
+    separate()
+    {
+        if (pendingKey) {
+            // Value directly follows its key, no comma.
+            pendingKey = false;
+            return;
+        }
+        if (!stack.empty()) {
+            if (!first)
+                os << ',';
+            if (pretty)
+                indent();
+        }
+        first = false;
+    }
+
+    void
+    indent()
+    {
+        os << '\n' << std::string(2 * stack.size(), ' ');
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os << '"';
+        for (char raw : s) {
+            const unsigned char c = static_cast<unsigned char>(raw);
+            switch (c) {
+              case '"': os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              case '\r': os << "\\r"; break;
+              case '\t': os << "\\t"; break;
+              default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << raw;
+                }
+            }
+        }
+        os << '"';
+    }
+
+    std::ostream &os;
+    bool pretty;
+    bool first = true;
+    bool pendingKey = false;
+    std::vector<char> stack;
+};
+
+/** Parsed JSON value (tests, the smoke-test checker). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &name) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        auto it = object.find(name);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+namespace detail {
+
+class Parser
+{
+  public:
+    Parser(const char *begin, const char *end) : p(begin), end(end) {}
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        return p == end;  // No trailing garbage.
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    void
+    skipWs()
+    {
+        while (p != end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const char *q = p;
+        while (*word) {
+            if (q == end || *q != *word)
+                return false;
+            ++q;
+            ++word;
+        }
+        p = q;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > kMaxDepth || p == end)
+            return false;
+        switch (*p) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out.kind = Value::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = Value::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out, int depth)
+    {
+        out.kind = Value::Kind::Object;
+        ++p;  // '{'
+        skipWs();
+        if (p != end && *p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (p == end || *p != '"')
+                return false;
+            std::string name;
+            if (!parseString(name))
+                return false;
+            skipWs();
+            if (p == end || *p != ':')
+                return false;
+            ++p;
+            skipWs();
+            Value member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.object.emplace(std::move(name), std::move(member));
+            skipWs();
+            if (p == end)
+                return false;
+            if (*p == ',') {
+                ++p;
+                continue;
+            }
+            if (*p == '}') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseArray(Value &out, int depth)
+    {
+        out.kind = Value::Kind::Array;
+        ++p;  // '['
+        skipWs();
+        if (p != end && *p == ']') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (p == end)
+                return false;
+            if (*p == ',') {
+                ++p;
+                continue;
+            }
+            if (*p == ']') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++p;  // '"'
+        while (p != end && *p != '"') {
+            const unsigned char c = static_cast<unsigned char>(*p);
+            if (c < 0x20)
+                return false;  // Raw control char.
+            if (*p == '\\') {
+                ++p;
+                if (p == end)
+                    return false;
+                switch (*p) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        ++p;
+                        if (p == end || !std::isxdigit(
+                                static_cast<unsigned char>(*p)))
+                            return false;
+                        const char h = *p;
+                        code = code * 16 +
+                               (h <= '9' ? h - '0'
+                                         : (h | 0x20) - 'a' + 10);
+                    }
+                    // Keep it simple: re-emit BMP code points as
+                    // UTF-8; the exporter never writes surrogates.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default: return false;
+                }
+                ++p;
+            } else {
+                out += *p;
+                ++p;
+            }
+        }
+        if (p == end)
+            return false;
+        ++p;  // Closing '"'.
+        return true;
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const char *start = p;
+        if (p != end && *p == '-')
+            ++p;
+        if (p == end || !std::isdigit(static_cast<unsigned char>(*p)))
+            return false;
+        // No leading zeros: "0" or [1-9][0-9]*.
+        if (*p == '0') {
+            ++p;
+        } else {
+            while (p != end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p != end && *p == '.') {
+            ++p;
+            if (p == end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                return false;
+            while (p != end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p != end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p != end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p == end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                return false;
+            while (p != end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(std::string(start, p).c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    const char *p;
+    const char *end;
+};
+
+} // namespace detail
+
+/** Strict parse; nullopt-style via the bool return. */
+inline bool
+parse(const std::string &text, Value &out)
+{
+    detail::Parser parser(text.data(), text.data() + text.size());
+    return parser.parseDocument(out);
+}
+
+/** True when @p text is one well-formed JSON document. */
+inline bool
+wellFormed(const std::string &text)
+{
+    Value ignored;
+    return parse(text, ignored);
+}
+
+} // namespace emv::json
+
+#endif // EMV_COMMON_JSON_HH

@@ -1,0 +1,88 @@
+#include "common/profile.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace emv::prof {
+
+namespace detail {
+
+bool enabledFlag = false;
+PhaseRecord records[static_cast<unsigned>(Phase::NumPhases)];
+
+} // namespace detail
+
+namespace {
+
+constexpr const char *kPhaseNames[] = {
+    "workload_gen", "machine_build", "translate",
+    "fault_service", "balloon",      "compaction",
+    "fragmentation", "stats_export",
+};
+static_assert(std::size(kPhaseNames) ==
+              static_cast<unsigned>(Phase::NumPhases));
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    detail::enabledFlag = on;
+}
+
+void
+reset()
+{
+    for (auto &rec : detail::records)
+        rec = detail::PhaseRecord{};
+}
+
+const char *
+phaseName(Phase phase)
+{
+    const auto index = static_cast<unsigned>(phase);
+    emv_assert(index < std::size(kPhaseNames),
+               "unknown profile phase %u", index);
+    return kPhaseNames[index];
+}
+
+detail::PhaseRecord
+phaseRecord(Phase phase)
+{
+    return detail::records[static_cast<unsigned>(phase)];
+}
+
+void
+report(std::ostream &os)
+{
+    bool any = false;
+    for (const auto &rec : detail::records)
+        any = any || rec.calls != 0;
+    if (!any) {
+        os << "profile: no instrumented phases ran "
+              "(enable with profile=1 before the run)\n";
+        return;
+    }
+
+    os << "-- simulator profile --\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-14s %12s %12s %12s\n",
+                  "phase", "calls", "total ms", "ns/call");
+    os << buf;
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(Phase::NumPhases); ++i) {
+        const auto &rec = detail::records[i];
+        if (rec.calls == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "%-14s %12llu %12.2f %12.1f\n", kPhaseNames[i],
+                      static_cast<unsigned long long>(rec.calls),
+                      static_cast<double>(rec.ns) / 1e6,
+                      static_cast<double>(rec.ns) /
+                          static_cast<double>(rec.calls));
+        os << buf;
+    }
+}
+
+} // namespace emv::prof

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight simulator self-profiling.
+ *
+ * The ROADMAP's "fast as the hardware allows" goal needs visibility
+ * into the simulator's own hot paths, not just the modeled cycles.
+ * Phases are a fixed enum so the hot-path bookkeeping is two array
+ * adds; prof::Scope is an RAII timer that reads the clock only when
+ * profiling was enabled (one branch otherwise, so `profile=0` runs
+ * are unaffected).  report() prints calls / total ms / ns per call
+ * for every phase that ran.
+ */
+
+#ifndef EMV_COMMON_PROFILE_HH
+#define EMV_COMMON_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+namespace emv::prof {
+
+/** Instrumented simulator phases. */
+enum class Phase : unsigned {
+    WorkloadGen,    //!< Workload construction / trace generation.
+    MachineBuild,   //!< Machine assembly (OS, VMM, tables, segments).
+    Translate,      //!< Mmu::translate calls from the run loop.
+    FaultService,   //!< Guest/nested fault handling.
+    Balloon,        //!< Balloon inflate / self-balloon.
+    Compaction,     //!< Compaction free-run creation.
+    Fragmentation,  //!< Fragmenter passes.
+    StatsExport,    //!< Stat dump / JSON export.
+    NumPhases,
+};
+
+namespace detail {
+
+struct PhaseRecord
+{
+    std::uint64_t calls = 0;
+    std::uint64_t ns = 0;
+};
+
+extern bool enabledFlag;
+extern PhaseRecord records[static_cast<unsigned>(Phase::NumPhases)];
+
+} // namespace detail
+
+/** Globally enable/disable phase timing (off by default). */
+void setEnabled(bool on);
+inline bool enabled() { return detail::enabledFlag; }
+
+/** Zero all phase records. */
+void reset();
+
+/** Printable phase name ("translate", ...). */
+const char *phaseName(Phase phase);
+
+/** Accumulated (calls, ns) for @p phase. */
+detail::PhaseRecord phaseRecord(Phase phase);
+
+/**
+ * Print the summary table (phase, calls, total ms, ns/call) for all
+ * phases with at least one call; prints a note when profiling never
+ * ran.
+ */
+void report(std::ostream &os);
+
+/** RAII phase timer; no-op (one branch) when profiling is off. */
+class Scope
+{
+  public:
+    explicit Scope(Phase phase) : phase(phase)
+    {
+        if (detail::enabledFlag)
+            start = std::chrono::steady_clock::now();
+    }
+
+    ~Scope()
+    {
+        if (!detail::enabledFlag)
+            return;
+        const auto stop = std::chrono::steady_clock::now();
+        auto &rec = detail::records[static_cast<unsigned>(phase)];
+        ++rec.calls;
+        rec.ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start)
+                .count());
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Phase phase;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace emv::prof
+
+#endif // EMV_COMMON_PROFILE_HH

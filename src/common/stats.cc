@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/stat_registry.hh"
+
 namespace emv {
 
 void
@@ -19,6 +21,40 @@ Distribution::sample(double value)
     const double delta = value - _mean;
     _mean += delta / static_cast<double>(_count);
     _m2 += delta * (value - _mean);
+    ++_buckets[bucketIndex(value)];
+}
+
+unsigned
+Distribution::bucketIndex(double value)
+{
+    if (!(value >= 1.0))  // Also catches NaN.
+        return 0;
+    const int exponent = std::ilogb(value);  // floor(log2(v)) >= 0.
+    const unsigned bucket = static_cast<unsigned>(exponent) + 1;
+    return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    const double target = p * static_cast<double>(_count);
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cumulative += _buckets[b];
+        if (static_cast<double>(cumulative) >= target &&
+            _buckets[b] != 0) {
+            // Representative value: geometric midpoint of the
+            // bucket's [2^(b-1), 2^b) range, clamped to what was
+            // actually observed.
+            const double rep =
+                b == 0 ? 0.5 : 1.5 * std::ldexp(1.0, b - 1);
+            return std::min(std::max(rep, _min), _max);
+        }
+    }
+    return _max;
 }
 
 void
@@ -43,6 +79,48 @@ double
 Distribution::stddev() const
 {
     return std::sqrt(variance());
+}
+
+StatGroup::StatGroup(std::string name) : _name(std::move(name))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
+}
+
+StatGroup::StatGroup(const StatGroup &other)
+    : _name(other._name), parentPrefix(other.parentPrefix),
+      parentGroup(other.parentGroup),
+      counters(other.counters), scalars(other.scalars),
+      distributions(other.distributions)
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup &
+StatGroup::operator=(const StatGroup &other)
+{
+    if (this == &other)
+        return *this;
+    // Registration is identity-based; only the contents change.
+    _name = other._name;
+    parentPrefix = other.parentPrefix;
+    parentGroup = other.parentGroup;
+    counters = other.counters;
+    scalars = other.scalars;
+    distributions = other.distributions;
+    return *this;
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (parentGroup)
+        return parentGroup->fullName() + "." + _name;
+    return parentPrefix.empty() ? _name : parentPrefix + "." + _name;
 }
 
 Counter &
@@ -89,15 +167,32 @@ StatGroup::resetAll()
 }
 
 void
+StatGroup::visit(StatVisitor &visitor) const
+{
+    visitor.beginGroup(*this);
+    for (const auto &[name, c] : counters)
+        visitor.visitCounter(*this, name, c);
+    for (const auto &[name, s] : scalars)
+        visitor.visitScalar(*this, name, s);
+    for (const auto &[name, d] : distributions)
+        visitor.visitDistribution(*this, name, d);
+    visitor.endGroup(*this);
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
+    const std::string full = fullName();
     for (const auto &[name, c] : counters)
-        os << _name << '.' << name << ' ' << c.value() << '\n';
+        os << full << '.' << name << ' ' << c.value() << '\n';
     for (const auto &[name, s] : scalars)
-        os << _name << '.' << name << ' ' << s.value() << '\n';
+        os << full << '.' << name << ' ' << s.value() << '\n';
     for (const auto &[name, d] : distributions) {
-        os << _name << '.' << name << ".mean " << d.mean() << '\n';
-        os << _name << '.' << name << ".count " << d.count() << '\n';
+        os << full << '.' << name << ".count " << d.count() << '\n';
+        os << full << '.' << name << ".mean " << d.mean() << '\n';
+        os << full << '.' << name << ".stddev " << d.stddev() << '\n';
+        os << full << '.' << name << ".min " << d.min() << '\n';
+        os << full << '.' << name << ".max " << d.max() << '\n';
     }
 }
 

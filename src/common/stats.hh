@@ -6,11 +6,18 @@
  * misses, page-walk cycles, walk memory references.  Every simulated
  * structure owns named Counter/Scalar stats registered in a
  * StatGroup so experiments can dump and diff them uniformly.
+ *
+ * Groups auto-register in the process-wide StatRegistry (see
+ * stat_registry.hh) under hierarchical names: a group named "mmu"
+ * reparented under "machine" exports as "machine.mmu.l1_misses".
+ * Exporters walk groups through the StatVisitor interface, so text,
+ * JSON and CSV output all read the same structure.
  */
 
 #ifndef EMV_COMMON_STATS_HH
 #define EMV_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -54,11 +61,17 @@ class Scalar
 
 /**
  * Running distribution: count, sum, min, max, mean and sample
- * variance via Welford's algorithm.
+ * variance via Welford's algorithm, plus power-of-two buckets for
+ * approximate percentiles (bucket b holds samples in [2^(b-1), 2^b);
+ * everything below 1.0 lands in bucket 0).  Percentile estimates
+ * are therefore exact to within one octave — plenty for "p99 walk
+ * cycles" style observability without storing samples.
  */
 class Distribution
 {
   public:
+    static constexpr unsigned kBuckets = 64;
+
     void sample(double value);
     void reset();
 
@@ -70,23 +83,66 @@ class Distribution
     double variance() const;
     double stddev() const;
 
+    /**
+     * Approximate @p p quantile (p in [0, 1]) from the power-of-two
+     * buckets, clamped to the observed [min, max].
+     */
+    double percentile(double p) const;
+
+    /** Raw bucket occupancy (tests, exporters). */
+    const std::array<std::uint64_t, kBuckets> &buckets() const
+    { return _buckets; }
+
   private:
+    static unsigned bucketIndex(double value);
+
     std::uint64_t _count = 0;
     double _sum = 0.0;
     double _min = 0.0;
     double _max = 0.0;
     double _mean = 0.0;
     double _m2 = 0.0;
+    std::array<std::uint64_t, kBuckets> _buckets{};
+};
+
+class StatGroup;
+
+/**
+ * Visitor over a group's stats; the exporters (text/JSON/CSV) and
+ * any future sink implement this.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void beginGroup(const StatGroup &group) { (void)group; }
+    virtual void endGroup(const StatGroup &group) { (void)group; }
+    virtual void visitCounter(const StatGroup &group,
+                              const std::string &name,
+                              const Counter &counter) = 0;
+    virtual void visitScalar(const StatGroup &group,
+                             const std::string &name,
+                             const Scalar &scalar) = 0;
+    virtual void visitDistribution(const StatGroup &group,
+                                   const std::string &name,
+                                   const Distribution &dist) = 0;
 };
 
 /**
  * A named collection of stats.  Structures register their counters
- * by name; dump() emits "group.name value" lines.
+ * by name; dump() emits "group.name value" lines.  Every live group
+ * is tracked by the process-wide StatRegistry; setParent() prefixes
+ * the exported name ("machine" + "mmu" -> "machine.mmu").
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &other);
+    StatGroup &operator=(const StatGroup &other);
 
     Counter &counter(const std::string &name);
     Scalar &scalar(const std::string &name);
@@ -100,10 +156,29 @@ class StatGroup
     void resetAll();
     void dump(std::ostream &os) const;
 
+    /** Walk all stats through @p visitor (alphabetical per kind). */
+    void visit(StatVisitor &visitor) const;
+
     const std::string &name() const { return _name; }
+
+    /** Hierarchy prefix; fullName() becomes "<prefix>.<name>". */
+    void setParent(const std::string &prefix)
+    { parentPrefix = prefix; parentGroup = nullptr; }
+    /**
+     * Parent by group: fullName() recurses through @p group, so
+     * reparenting an ancestor renames the whole subtree.  The parent
+     * must outlive name queries on this group (member declaration
+     * order gives this for the owner/child layout used here).
+     */
+    void setParent(const StatGroup *group)
+    { parentGroup = group; parentPrefix.clear(); }
+    const std::string &parent() const { return parentPrefix; }
+    std::string fullName() const;
 
   private:
     std::string _name;
+    std::string parentPrefix;
+    const StatGroup *parentGroup = nullptr;
     std::map<std::string, Counter> counters;
     std::map<std::string, Scalar> scalars;
     std::map<std::string, Distribution> distributions;

@@ -1,0 +1,145 @@
+#include "common/trace.hh"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+namespace emv::trace {
+
+namespace detail {
+
+std::uint32_t mask = 0;
+
+namespace {
+
+std::unique_ptr<std::ofstream> traceFile;
+std::ostream *overrideSink = nullptr;
+
+std::ostream &
+sink()
+{
+    if (overrideSink)
+        return *overrideSink;
+    if (traceFile && traceFile->is_open())
+        return *traceFile;
+    return std::cerr;
+}
+
+} // namespace
+
+void
+emitImpl(Flag flag, const std::string &msg)
+{
+    sink() << flagName(flag) << ": " << msg << '\n';
+}
+
+} // namespace detail
+
+namespace {
+
+constexpr const char *kFlagNames[] = {
+    "Tlb",    "Walk",       "Segment", "Filter",
+    "Balloon", "Compaction", "Vmm",     "Hotplug",
+};
+static_assert(std::size(kFlagNames) ==
+              static_cast<unsigned>(Flag::NumFlags));
+
+} // namespace
+
+const char *
+flagName(Flag flag)
+{
+    const auto index = static_cast<unsigned>(flag);
+    emv_assert(index < std::size(kFlagNames),
+               "unknown trace flag %u", index);
+    return kFlagNames[index];
+}
+
+std::optional<Flag>
+flagByName(const std::string &name)
+{
+    for (unsigned i = 0; i < std::size(kFlagNames); ++i) {
+        if (name == kFlagNames[i])
+            return static_cast<Flag>(i);
+    }
+    return std::nullopt;
+}
+
+bool
+setFlags(const std::string &csv)
+{
+    std::uint32_t next = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "All") {
+            next |= (1u << static_cast<unsigned>(Flag::NumFlags)) - 1;
+            continue;
+        }
+        auto flag = flagByName(name);
+        if (!flag)
+            return false;
+        next |= 1u << static_cast<unsigned>(*flag);
+    }
+    detail::mask = next;
+    return true;
+}
+
+void
+clearFlags()
+{
+    detail::mask = 0;
+}
+
+std::vector<Flag>
+enabledFlags()
+{
+    std::vector<Flag> out;
+    for (unsigned i = 0; i < static_cast<unsigned>(Flag::NumFlags);
+         ++i) {
+        if ((detail::mask >> i) & 1u)
+            out.push_back(static_cast<Flag>(i));
+    }
+    return out;
+}
+
+std::string
+allFlagNames()
+{
+    std::string out;
+    for (unsigned i = 0; i < std::size(kFlagNames); ++i) {
+        if (i)
+            out += ',';
+        out += kFlagNames[i];
+    }
+    return out;
+}
+
+bool
+openTraceFile(const std::string &path)
+{
+    if (path.empty()) {
+        detail::traceFile.reset();
+        return true;
+    }
+    auto file = std::make_unique<std::ofstream>(
+        path, std::ios::out | std::ios::trunc);
+    if (!file->is_open())
+        return false;
+    detail::traceFile = std::move(file);
+    return true;
+}
+
+void
+setSink(std::ostream *os)
+{
+    detail::overrideSink = os;
+}
+
+} // namespace emv::trace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Debug-trace flags in the gem5 tradition.
+ *
+ * Each subsystem owns a named flag; EMV_TRACE(Walk, ...) compiles to
+ * a single test of a global bitmask before any argument is
+ * formatted, so disabled tracing costs one predictable branch on the
+ * hot path.  Flags are enabled at runtime from a comma-separated
+ * list ("Tlb,Walk", or "All"), and records go to stderr or to a
+ * trace file.
+ *
+ * The Walk flag additionally produces BadgerTrap-style structured
+ * records: one line per page walk with the gVA, the path taken, the
+ * per-dimension reference counts, PSC/PTE-line hits and priced
+ * cycles (emitted by core/mmu.cc).
+ */
+
+#ifndef EMV_COMMON_TRACE_HH
+#define EMV_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace emv::trace {
+
+/** One bit per traceable subsystem. */
+enum class Flag : unsigned {
+    Tlb,         //!< TLB hierarchy lookups, fills, flushes.
+    Walk,        //!< Page walks: per-ref lines + per-walk records.
+    Segment,     //!< Direct-segment register changes and checks.
+    Filter,      //!< Escape-filter inserts and positives.
+    Balloon,     //!< Balloon driver inflate/self-balloon.
+    Compaction,  //!< Compaction daemon windows and migrations.
+    Vmm,         //!< VMM slot/backing/segment events.
+    Hotplug,     //!< Memory hot-add/remove, I/O-gap reclaim.
+    NumFlags,
+};
+
+namespace detail {
+/** Enabled-flag bitmask; zero (the common case) short-circuits. */
+extern std::uint32_t mask;
+void emitImpl(Flag flag, const std::string &msg);
+} // namespace detail
+
+/** Cheap inline gate; false for every flag almost always. */
+inline bool
+enabled(Flag flag)
+{
+    return __builtin_expect(detail::mask != 0, 0) &&
+           (detail::mask >> static_cast<unsigned>(flag)) & 1u;
+}
+
+/** Printable flag name ("Tlb", "Walk", ...). */
+const char *flagName(Flag flag);
+
+/** Parse one flag name (case sensitive, as documented). */
+std::optional<Flag> flagByName(const std::string &name);
+
+/**
+ * Enable flags from a comma-separated list ("Tlb,Walk"; "All"
+ * enables everything; "" disables everything).
+ * @return false (and leaves flags untouched) on an unknown name.
+ */
+bool setFlags(const std::string &csv);
+
+/** Disable all flags. */
+void clearFlags();
+
+/** Currently enabled flags, in declaration order. */
+std::vector<Flag> enabledFlags();
+
+/** Comma-separated list of every known flag (for usage strings). */
+std::string allFlagNames();
+
+/**
+ * Send records to @p path (truncates).  Pass "" to return to
+ * stderr.  @return false when the file cannot be opened.
+ */
+bool openTraceFile(const std::string &path);
+
+/** Redirect records to an arbitrary stream (tests). nullptr resets
+ *  to the stderr/file sink. */
+void setSink(std::ostream *os);
+
+/** Emit one record: "<flag>: <msg>\n".  Callers gate on enabled(). */
+inline void
+emit(Flag flag, const std::string &msg)
+{
+    detail::emitImpl(flag, msg);
+}
+
+} // namespace emv::trace
+
+/**
+ * Trace macro: formats printf-style arguments only when @p flag is
+ * enabled.  Usage: EMV_TRACE(Walk, "gva=%#llx refs=%u", gva, refs);
+ */
+#define EMV_TRACE(flag, ...)                                           \
+    do {                                                               \
+        if (::emv::trace::enabled(::emv::trace::Flag::flag)) {         \
+            ::emv::trace::emit(::emv::trace::Flag::flag,               \
+                               ::emv::detail::format(__VA_ARGS__));    \
+        }                                                              \
+    } while (0)
+
+#endif // EMV_COMMON_TRACE_HH

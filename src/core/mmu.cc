@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "mem/phys_memory.hh"
 
 namespace emv::core {
@@ -11,12 +12,49 @@ using paging::RefStage;
 using paging::WalkOutcome;
 using paging::WalkTrace;
 
+const char *
+toString(FaultSpace space)
+{
+    switch (space) {
+      case FaultSpace::None: return "None";
+      case FaultSpace::Guest: return "Guest";
+      case FaultSpace::Nested: return "Nested";
+    }
+    return "?";
+}
+
+const char *
+toString(TranslatePath path)
+{
+    switch (path) {
+      case TranslatePath::L1Hit: return "L1Hit";
+      case TranslatePath::DualSegment: return "DualSegment";
+      case TranslatePath::NativeSegment: return "NativeSegment";
+      case TranslatePath::L2Hit: return "L2Hit";
+      case TranslatePath::Walk: return "Walk";
+      case TranslatePath::Fault: return "Fault";
+    }
+    return "?";
+}
+
+std::ostream &
+operator<<(std::ostream &os, FaultSpace space)
+{
+    return os << toString(space);
+}
+
+std::ostream &
+operator<<(std::ostream &os, TranslatePath path)
+{
+    return os << toString(path);
+}
+
 Mmu::Mmu(mem::PhysMemory &host_mem, const MmuConfig &config)
     : hostMem(host_mem), config(config),
       walker(host_mem), nestedWalker(host_mem),
       tlbHier(config.tlbGeometry),
-      guestPsc(config.pscSets, config.pscWays),
-      nestedPsc(config.pscSets, config.pscWays),
+      guestPsc(config.pscSets, config.pscWays, "guest_psc"),
+      nestedPsc(config.pscSets, config.pscWays, "nested_psc"),
       pteLines(config.pteLineSets, config.pteLineWays),
       _vmmFilter(std::make_unique<segment::EscapeFilter>(
           config.filterBits, config.filterHashes, config.filterSeed)),
@@ -47,6 +85,14 @@ Mmu::Mmu(mem::PhysMemory &host_mem, const MmuConfig &config)
       translationCyclesScl(&_stats.scalar("translation_cycles")),
       perWalkCyclesDist(&_stats.distribution("cycles_per_walk"))
 {
+    // Child structures export under the MMU's name, so a registry
+    // dump reads "mmu.l1tlb4k.misses", "mmu.guest_psc.hits", ...
+    tlbHier.setStatsParent(&_stats);
+    guestPsc.stats().setParent(&_stats);
+    nestedPsc.stats().setParent(&_stats);
+    pteLines.stats().setParent(&_stats);
+    _vmmFilter->stats().setParent(&_stats);
+    _guestFilter->stats().setParent(&_stats);
 }
 
 void
@@ -88,6 +134,8 @@ Mmu::setGuestSegment(const segment::SegmentRegs &regs)
                isAligned(regs.offset(), kPage4K),
                "guest segment registers must be page aligned");
     guestSeg = regs;
+    EMV_TRACE(Segment, "guest segment set: %s",
+              regs.toString().c_str());
 }
 
 void
@@ -98,6 +146,8 @@ Mmu::setVmmSegment(const segment::SegmentRegs &regs)
                isAligned(regs.offset(), kPage4K),
                "VMM segment registers must be page aligned");
     vmmSeg = regs;
+    EMV_TRACE(Segment, "VMM segment set: %s",
+              regs.toString().c_str());
 }
 
 void
@@ -147,14 +197,18 @@ Mmu::segmentGranule(std::uint64_t offset)
 }
 
 Cycles
-Mmu::priceTrace(const WalkTrace &trace)
+Mmu::priceTrace(const WalkTrace &trace, unsigned &line_hits)
 {
     const CostModel &costs = config.costs;
     Cycles cycles =
         trace.calculations * costs.segmentCheckCycles;
     for (const auto &ref : trace.refs) {
-        cycles += pteLines.access(ref.hpa) ? costs.pteCacheHitCycles
-                                           : costs.pteMemCycles;
+        if (pteLines.access(ref.hpa)) {
+            cycles += costs.pteCacheHitCycles;
+            ++line_hits;
+        } else {
+            cycles += costs.pteMemCycles;
+        }
     }
     return cycles;
 }
@@ -373,10 +427,14 @@ Mmu::translate(Addr gva)
         result.ok = true;
         result.cycles = costs.l1HitCycles;
         result.path = TranslatePath::L1Hit;
+        EMV_TRACE(Tlb, "L1 hit gva=%s frame=%s size=%s",
+                  hexAddr(gva).c_str(), hexAddr(hit->frame).c_str(),
+                  pageSizeName(hit->size));
         *translationCyclesScl += static_cast<double>(result.cycles);
         return result;
     }
     ++*l1MissesCtr;
+    EMV_TRACE(Tlb, "L1 miss gva=%s", hexAddr(gva).c_str());
 
     // 2. Dual Direct fast path: both segments hit => 0D walk.  The
     //    guest-level escape filter (the §V "both levels" extension,
@@ -426,6 +484,9 @@ Mmu::translate(Addr gva)
     // 3. L2 TLB.
     if (auto hit = tlbHier.lookupL2(gva)) {
         ++*l2HitsCtr;
+        EMV_TRACE(Tlb, "L2 hit gva=%s frame=%s size=%s",
+                  hexAddr(gva).c_str(), hexAddr(hit->frame).c_str(),
+                  pageSizeName(hit->size));
         result.hpa = hit->frame + (gva & (pageBytes(hit->size) - 1));
         result.ok = true;
         result.cycles = costs.l2HitCycles;
@@ -438,6 +499,7 @@ Mmu::translate(Addr gva)
         return result;
     }
     ++*l2MissesCtr;
+    EMV_TRACE(Tlb, "L2 miss gva=%s", hexAddr(gva).c_str());
 
     // 4. Page walk (mode-flattened).
     pendingFaultSpace = FaultSpace::None;
@@ -456,25 +518,53 @@ Mmu::translate(Addr gva)
         result.faultAddr = pendingFaultSpace == FaultSpace::None
                                ? gva
                                : pendingFaultAddr;
+        EMV_TRACE(Walk,
+                  "record gva=%s mode=\"%s\" path=Fault space=%s "
+                  "fault_addr=%s refs=%zu",
+                  hexAddr(gva).c_str(), modeName(_mode),
+                  toString(result.faultSpace),
+                  hexAddr(result.faultAddr).c_str(),
+                  trace.refs.size());
         return result;
     }
 
     ++*walksCtr;
-    const Cycles walk_cycles = priceTrace(trace) + walkSideCycles;
+    unsigned line_hits = 0;
+    const Cycles walk_cycles =
+        priceTrace(trace, line_hits) + walkSideCycles;
     result.cycles = walk_cycles;
     result.hpa = out.pa;
     result.ok = true;
     result.path = TranslatePath::Walk;
 
+    std::uint64_t guest_refs = 0, nested_refs = 0, native_refs = 0;
     for (const auto &ref : trace.refs) {
         switch (ref.stage) {
-          case RefStage::GuestTable: ++*guestRefsCtr; break;
-          case RefStage::NestedTable: ++*nestedRefsCtr; break;
+          case RefStage::GuestTable: ++guest_refs; break;
+          case RefStage::NestedTable: ++nested_refs; break;
           case RefStage::NativeTable:
-          case RefStage::ShadowTable: ++*nativeRefsCtr; break;
+          case RefStage::ShadowTable: ++native_refs; break;
         }
     }
+    *guestRefsCtr += guest_refs;
+    *nestedRefsCtr += nested_refs;
+    *nativeRefsCtr += native_refs;
     *calcsCtr += trace.calculations;
+
+    // BadgerTrap-style per-walk record: what the walk touched and
+    // what it cost, one line per resolved walk.
+    EMV_TRACE(Walk,
+              "record gva=%s mode=\"%s\" path=Walk refs=%zu "
+              "guest=%llu nested=%llu native=%llu calcs=%u "
+              "pte_line_hits=%u cycles=%llu size=%s hpa=%s",
+              hexAddr(gva).c_str(), modeName(_mode),
+              trace.refs.size(),
+              static_cast<unsigned long long>(guest_refs),
+              static_cast<unsigned long long>(nested_refs),
+              static_cast<unsigned long long>(native_refs),
+              trace.calculations, line_hits,
+              static_cast<unsigned long long>(walk_cycles),
+              pageSizeName(out.size), hexAddr(out.pa).c_str());
     *walkCyclesScl += static_cast<double>(walk_cycles);
     *translationCyclesScl += static_cast<double>(walk_cycles);
     perWalkCyclesDist->sample(static_cast<double>(walk_cycles));

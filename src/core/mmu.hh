@@ -35,6 +35,7 @@
 
 #include <memory>
 #include <optional>
+#include <ostream>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -81,6 +82,13 @@ enum class TranslatePath {
     Walk,
     Fault,
 };
+
+/** @{ Printable enum names for traces and test failure messages. */
+const char *toString(FaultSpace space);
+const char *toString(TranslatePath path);
+std::ostream &operator<<(std::ostream &os, FaultSpace space);
+std::ostream &operator<<(std::ostream &os, TranslatePath path);
+/** @} */
 
 /** Result of Mmu::translate(). */
 struct TranslationResult
@@ -162,8 +170,10 @@ class Mmu
     friend class NestedPagingTranslator;
     friend class SegmentFirstTranslator;
 
-    /** Price a trace's refs through the PTE-line cache. */
-    Cycles priceTrace(const paging::WalkTrace &trace);
+    /** Price a trace's refs through the PTE-line cache; counts the
+     *  refs that hit a cached line into @p line_hits. */
+    Cycles priceTrace(const paging::WalkTrace &trace,
+                      unsigned &line_hits);
 
     /** Mode-dispatched walk; fills trace and category stats. */
     paging::WalkOutcome doWalk(Addr gva, paging::WalkTrace &trace,

@@ -84,6 +84,12 @@ usesVmmSegment(Mode mode)
     return mode == Mode::DualDirect || mode == Mode::VmmDirect;
 }
 
+std::ostream &
+operator<<(std::ostream &os, Mode mode)
+{
+    return os << modeName(mode);
+}
+
 const char *
 supportName(Support support)
 {

@@ -11,6 +11,7 @@
 #ifndef EMV_CORE_MODE_HH
 #define EMV_CORE_MODE_HH
 
+#include <ostream>
 #include <string>
 
 namespace emv::core {
@@ -67,6 +68,9 @@ bool usesGuestSegment(Mode mode);
 bool usesVmmSegment(Mode mode);
 
 const char *supportName(Support support);
+
+/** Streams modeName() — trace records and test failure messages. */
+std::ostream &operator<<(std::ostream &os, Mode mode);
 
 } // namespace emv::core
 

@@ -1,6 +1,7 @@
 #include "mem/fragmenter.hh"
 
 #include "common/logging.hh"
+#include "common/profile.hh"
 
 namespace emv::mem {
 
@@ -18,6 +19,7 @@ std::vector<PinnedBlock>
 Fragmenter::fragmentToRun(BuddyAllocator &buddy, Addr max_run_bytes,
                           unsigned pin_order)
 {
+    prof::Scope frag_scope(prof::Phase::Fragmentation);
     emv_assert(max_run_bytes >= kPage4K,
                "fragmentation target below one page");
     std::vector<PinnedBlock> pins;
@@ -55,6 +57,7 @@ std::vector<PinnedBlock>
 Fragmenter::pinFraction(BuddyAllocator &buddy, double fraction,
                         unsigned pin_order)
 {
+    prof::Scope frag_scope(prof::Phase::Fragmentation);
     emv_assert(fraction >= 0.0 && fraction <= 1.0,
                "pin fraction %f out of [0, 1]", fraction);
     std::vector<PinnedBlock> pins;

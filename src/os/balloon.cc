@@ -1,6 +1,8 @@
 #include "os/balloon.hh"
 
 #include "common/logging.hh"
+#include "common/profile.hh"
+#include "common/trace.hh"
 #include "os/guest_os.hh"
 
 namespace emv::os {
@@ -13,6 +15,7 @@ BalloonDriver::BalloonDriver(GuestOs &os, BalloonBackend &backend)
 Addr
 BalloonDriver::inflate(Addr bytes)
 {
+    prof::Scope balloon_scope(prof::Phase::Balloon);
     emv_assert(isAligned(bytes, kPage4K),
                "balloon size must be 4K aligned");
     std::vector<Addr> batch;
@@ -28,6 +31,9 @@ BalloonDriver::inflate(Addr bytes)
         batch.push_back(*page);
         got += kPage4K;
     }
+    EMV_TRACE(Balloon, "inflate wanted=%llu got=%llu pages=%zu",
+              static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(got), batch.size());
     if (!batch.empty()) {
         backend.reclaimGuestPages(batch);
         pinned.insert(pinned.end(), batch.begin(), batch.end());
@@ -44,6 +50,7 @@ BalloonDriver::inflate(Addr bytes)
 std::optional<Interval>
 BalloonDriver::selfBalloon(Addr bytes)
 {
+    prof::Scope balloon_scope(prof::Phase::Balloon);
     const Addr got = inflate(bytes);
     if (got < bytes)
         return std::nullopt;
@@ -51,6 +58,8 @@ BalloonDriver::selfBalloon(Addr bytes)
     if (!base)
         return std::nullopt;
     os.hotAdd(*base, bytes);
+    EMV_TRACE(Balloon, "self-balloon extension [%s, +%s)",
+              hexAddr(*base).c_str(), hexAddr(bytes).c_str());
     return Interval{*base, *base + bytes};
 }
 

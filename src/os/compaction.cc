@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/profile.hh"
+#include "common/trace.hh"
 #include "os/guest_os.hh"
 
 namespace emv::os {
@@ -48,6 +50,11 @@ CompactionDaemon::estimateMigrations(Addr bytes)
     auto window = bestWindow(bytes);
     if (!window)
         return std::nullopt;
+    EMV_TRACE(Compaction,
+              "window base=%s bytes=%s allocated=%s",
+              hexAddr(window->base).c_str(),
+              hexAddr(bytes).c_str(),
+              hexAddr(window->allocatedBytes).c_str());
     return window->allocatedBytes / kPage4K;
 }
 
@@ -55,6 +62,7 @@ std::optional<Interval>
 CompactionDaemon::createFreeRun(Addr bytes, std::uint64_t
                                                 max_migrations)
 {
+    prof::Scope compaction_scope(prof::Phase::Compaction);
     emv_assert(bytes > 0 && isAligned(bytes, kPage4K),
                "compaction target must be a positive 4K multiple");
 
@@ -163,6 +171,10 @@ CompactionDaemon::createFreeRun(Addr bytes, std::uint64_t
     // 4. The entire window is now reserved by the daemon; release it
     //    as one contiguous free run.
     buddy.freeRange(wstart, bytes);
+    EMV_TRACE(Compaction,
+              "free run [%s, %s) after %llu migrations",
+              hexAddr(wstart).c_str(), hexAddr(wend).c_str(),
+              static_cast<unsigned long long>(migrated));
     return Interval{wstart, wend};
 }
 

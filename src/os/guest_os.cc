@@ -1,6 +1,7 @@
 #include "os/guest_os.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace emv::os {
 
@@ -117,6 +118,8 @@ GuestOs::hotAdd(Addr base, Addr bytes)
     emv_assert(!ramSet.containsRange(base, base + bytes) || bytes == 0,
                "hot-add of already present RAM at %s",
                hexAddr(base).c_str());
+    EMV_TRACE(Hotplug, "hot-add [%s, +%s)",
+              hexAddr(base).c_str(), hexAddr(bytes).c_str());
     ramSet.insert(base, base + bytes);
     _buddy->freeRange(base, bytes);
     ++_stats.counter("hot_adds");
@@ -130,6 +133,8 @@ GuestOs::hotRemove(Addr base, Addr bytes)
         return false;
     if (!_buddy->allocateRange(base, bytes))
         return false;  // In use: hot-unplug needs free memory.
+    EMV_TRACE(Hotplug, "hot-remove [%s, +%s)",
+              hexAddr(base).c_str(), hexAddr(bytes).c_str());
     ramSet.erase(base, base + bytes);
     ++_stats.counter("hot_removes");
     _stats.counter("hot_removed_bytes") += bytes;
@@ -402,6 +407,8 @@ GuestOs::createGuestSegment(Process &proc)
     // Segment backing cannot be migrated out from under the regs.
     markUnmovable(fit->start, primary->bytes);
     ++_stats.counter("segments_created");
+    EMV_TRACE(Segment, "guest segment created: %s",
+              regs.toString().c_str());
     return regs;
 }
 

@@ -1,6 +1,7 @@
 #include "os/hotplug.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "os/guest_os.hh"
 
 namespace emv::os {
@@ -40,6 +41,9 @@ reclaimIoGap(GuestOs &os, BalloonBackend &backend, Addr io_gap_start,
     backend.reclaimGuestRange(keep_bytes, move);
     os.hotAdd(*base, move);
 
+    EMV_TRACE(Hotplug,
+              "I/O gap reclaim moved %s bytes to extension at %s",
+              hexAddr(move).c_str(), hexAddr(*base).c_str());
     IoGapReclaim out;
     out.movedBytes = move;
     out.extension = Interval{*base, *base + move};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace.hh"
 #include "mem/phys_memory.hh"
 #include "paging/pte.hh"
 
@@ -30,6 +31,8 @@ NestedWalker::walk(Addr guest_root_gpa, Addr gva,
             if (hit) {
                 table_gpa = *hit;
                 start_level = level - 1;
+                EMV_TRACE(Walk, "psc hit guest gva=%s skip_to=L%d",
+                          hexAddr(gva).c_str(), start_level);
                 break;
             }
         }
@@ -45,6 +48,10 @@ NestedWalker::walk(Addr guest_root_gpa, Addr gva,
 
         // First dimension: read the guest entry itself.
         trace.addRef(entry_host.pa, RefStage::GuestTable, level);
+        EMV_TRACE(Walk, "ref guest L%d gva=%s entry_gpa=%s hpa=%s",
+                  level, hexAddr(gva).c_str(),
+                  hexAddr(entry_gpa).c_str(),
+                  hexAddr(entry_host.pa).c_str());
         Pte pte{hostMem.read64(entry_host.pa)};
         if (!pte.present())
             return WalkOutcome{0, PageSize::Size4K, false};

@@ -27,6 +27,19 @@ enum class RefStage : std::uint8_t {
     ShadowTable,  //!< Shadow (gVA→hPA) page-table entry.
 };
 
+/** Printable stage name for trace records. */
+inline const char *
+refStageName(RefStage stage)
+{
+    switch (stage) {
+      case RefStage::GuestTable: return "guest";
+      case RefStage::NestedTable: return "nested";
+      case RefStage::NativeTable: return "native";
+      case RefStage::ShadowTable: return "shadow";
+    }
+    return "?";
+}
+
 /** One memory reference made by the page-walk hardware. */
 struct WalkRef
 {

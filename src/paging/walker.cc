@@ -1,5 +1,6 @@
 #include "paging/walker.hh"
 
+#include "common/trace.hh"
 #include "mem/phys_memory.hh"
 #include "paging/pte.hh"
 
@@ -25,6 +26,9 @@ Walker::walk(Addr root, Addr va, RefStage stage, WalkTrace &trace,
             if (auto hit = cache->lookup(WalkCache::key(level, va))) {
                 table = *hit;
                 start_level = level - 1;
+                EMV_TRACE(Walk, "psc hit %s va=%s skip_to=L%d",
+                          refStageName(stage), hexAddr(va).c_str(),
+                          start_level);
                 break;
             }
         }
@@ -33,6 +37,9 @@ Walker::walk(Addr root, Addr va, RefStage stage, WalkTrace &trace,
     for (int level = start_level; level >= 1; --level) {
         const Addr entry_addr = table + 8ull * tableIndex(va, level);
         trace.addRef(entry_addr, stage, level);
+        EMV_TRACE(Walk, "ref %s L%d va=%s entry=%s",
+                  refStageName(stage), level, hexAddr(va).c_str(),
+                  hexAddr(entry_addr).c_str());
         Pte pte{hostMem.read64(entry_addr)};
         if (!pte.present())
             return WalkOutcome{0, PageSize::Size4K, false};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace emv::segment {
 
@@ -40,6 +41,9 @@ EscapeFilter::insertPage(Addr addr)
     }
     ++inserted;
     ++_stats.counter("inserts");
+    EMV_TRACE(Filter, "insert page=%s inserted=%llu set_bits=%u",
+              hexAddr(addr).c_str(),
+              static_cast<unsigned long long>(inserted), popcount());
 }
 
 bool
@@ -60,6 +64,8 @@ EscapeFilter::mayContain(Addr addr) const
 void
 EscapeFilter::clear()
 {
+    EMV_TRACE(Filter, "clear (had %llu pages)",
+              static_cast<unsigned long long>(inserted));
     for (auto &word : words)
         word = 0;
     inserted = 0;

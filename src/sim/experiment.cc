@@ -1,9 +1,12 @@
 #include "sim/experiment.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/profile.hh"
+#include "common/trace.hh"
 
 namespace emv::sim {
 
@@ -137,10 +140,38 @@ RunParams::parseArgs(int argc, char **argv)
             warmupOps = std::strtoull(arg + 7, nullptr, 10);
         else if (std::strncmp(arg, "seed=", 5) == 0)
             seed = std::strtoull(arg + 5, nullptr, 10);
+        else if (std::strncmp(arg, "statsjson=", 10) == 0)
+            statsJsonPath = arg + 10;
+        else if (std::strncmp(arg, "trace=", 6) == 0)
+            traceFlags = arg + 6;
+        else if (std::strncmp(arg, "tracefile=", 10) == 0)
+            traceFilePath = arg + 10;
+        else if (std::strncmp(arg, "profile=", 8) == 0)
+            profile = std::atoi(arg + 8) != 0;
         else
             emv_warn("ignoring unknown argument '%s'", arg);
     }
     emv_assert(scale > 0.0, "scale must be positive");
+}
+
+void
+RunParams::applyObservability() const
+{
+    // The user asked for these by name, so report problems straight
+    // to stderr even under quiet logging (emvsim runs quiet).
+    if (!traceFilePath.empty() &&
+        !trace::openTraceFile(traceFilePath)) {
+        std::fprintf(stderr,
+                     "warning: cannot open trace file '%s'; "
+                     "tracing to stderr\n", traceFilePath.c_str());
+    }
+    if (!traceFlags.empty() && !trace::setFlags(traceFlags)) {
+        std::fprintf(stderr,
+                     "warning: bad trace flags '%s'; known: %s "
+                     "and All\n", traceFlags.c_str(),
+                     trace::allFlagNames().c_str());
+    }
+    prof::setEnabled(profile);
 }
 
 MachineConfig
@@ -162,7 +193,11 @@ CellResult
 runCell(workload::WorkloadKind kind, const ConfigSpec &spec,
         const RunParams &params)
 {
-    auto wl = workload::makeWorkload(kind, params.seed, params.scale);
+    std::unique_ptr<workload::Workload> wl;
+    {
+        prof::Scope gen_scope(prof::Phase::WorkloadGen);
+        wl = workload::makeWorkload(kind, params.seed, params.scale);
+    }
     const MachineConfig cfg = makeMachineConfig(spec, params);
     Machine machine(cfg, *wl);
     machine.run(params.warmupOps);

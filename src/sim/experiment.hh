@@ -55,8 +55,23 @@ struct RunParams
     unsigned badFrames = 0;       //!< Hard faults (Fig. 13).
     std::uint64_t badFrameSeed = 99;
 
-    /** Parse "scale=0.25 ops=1000000 warmup=100000" style argv. */
+    // Observability (see common/trace.hh, common/profile.hh).
+    std::string statsJsonPath;    //!< Dump registry JSON here.
+    std::string traceFlags;       //!< CSV of flags, e.g. "Tlb,Walk".
+    std::string traceFilePath;    //!< Trace sink file ("" = stderr).
+    bool profile = false;         //!< Collect phase timings.
+
+    /**
+     * Parse "scale=0.25 ops=1000000 warmup=100000 trace=Tlb,Walk
+     * tracefile=t.log statsjson=s.json profile=1" style argv.
+     */
     void parseArgs(int argc, char **argv);
+
+    /**
+     * Push the trace/profile options into the global facilities.
+     * Call once after parseArgs, before building machines.
+     */
+    void applyObservability() const;
 };
 
 /** One measured cell. */

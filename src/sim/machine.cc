@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "os/hotplug.hh"
 
 namespace emv::sim {
@@ -38,6 +39,7 @@ Machine::Machine(const MachineConfig &config,
                  workload::Workload &workload)
     : cfg(config), wl(workload)
 {
+    prof::Scope build_scope(prof::Phase::MachineBuild);
     emv_assert(!cfg.shadowPaging ||
                cfg.mode == Mode::BaseVirtualized,
                "shadow paging replaces nested paging; use "
@@ -360,11 +362,27 @@ Machine::wireMmu()
 
     vmExitBase = _vm ? _vm->vmExits() : 0;
     shadowExitBase = shadow ? shadow->syncExits() : 0;
+
+    // Export every component under a common "machine" root so stat
+    // dumps read "machine.mmu.l1_misses", "machine.os.major_faults".
+    _mmu->stats().setParent("machine");
+    _os->stats().setParent("machine");
+    _os->buddy().stats().setParent(&_os->stats());
+    _hostMem->stats().setParent("machine");
+    if (_vmm) {
+        _vmm->stats().setParent("machine");
+        _vmm->hostBuddy().stats().setParent(&_vmm->stats());
+    }
+    if (_vm)
+        _vm->stats().setParent("machine");
+    if (shadow)
+        shadow->stats().setParent("machine");
 }
 
 bool
 Machine::serviceFault(const core::TranslationResult &result)
 {
+    prof::Scope fault_scope(prof::Phase::FaultService);
     if (result.faultSpace == FaultSpace::Nested) {
         emv_assert(_vm, "nested fault without a VM");
         if (!_vm->ensureBacked(result.faultAddr))
@@ -447,6 +465,7 @@ Machine::run(std::uint64_t ops)
         }
         ++accessCount;
         baseCyclesPool += base_per_access;
+        prof::Scope xlate_scope(prof::Phase::Translate);
         auto result = _mmu->translate(op.va);
         int retries = 0;
         while (!result.ok) {

@@ -1,9 +1,15 @@
 #include "sim/report.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <fstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "common/profile.hh"
+#include "common/stat_registry.hh"
+#include "sim/experiment.hh"
 
 namespace emv::sim {
 
@@ -84,6 +90,88 @@ bytesStr(std::uint64_t bytes)
                       static_cast<unsigned long long>(bytes));
     }
     return buf;
+}
+
+void
+writeStatsJson(std::ostream &os)
+{
+    prof::Scope export_scope(prof::Phase::StatsExport);
+    exportStatsJson(os, StatRegistry::instance().groups());
+}
+
+bool
+writeStatsJson(const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writeStatsJson(out);
+    return static_cast<bool>(out);
+}
+
+void
+writeCellMatrixJson(std::ostream &os, const std::string &title,
+                    const std::vector<CellResult> &cells)
+{
+    prof::Scope export_scope(prof::Phase::StatsExport);
+    json::Writer w(os);
+    w.beginObject();
+    w.member("schema", "emv-bench-v1");
+    w.member("title", title);
+    w.key("cells");
+    w.beginArray();
+    for (const auto &cell : cells) {
+        w.beginObject();
+        w.member("workload", cell.workload);
+        w.member("config", cell.config);
+        w.member("overhead", cell.overhead());
+        w.member("translation_overhead",
+                 cell.run.translationOverhead());
+        w.member("base_cycles", cell.run.baseCycles);
+        w.member("translation_cycles", cell.run.translationCycles);
+        w.member("fault_cycles", cell.run.faultCycles);
+        w.member("vmexit_cycles", cell.run.vmExitCycles);
+        w.member("shootdown_cycles", cell.run.shootdownCycles);
+        w.member("access_ops", cell.run.accessOps);
+        w.member("l1_misses", cell.run.l1Misses);
+        w.member("l2_misses", cell.run.l2Misses);
+        w.member("walks", cell.run.walks);
+        w.member("cycles_per_walk", cell.run.cyclesPerWalk);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.finish();
+}
+
+bool
+writeCellMatrixJson(const std::string &path, const std::string &title,
+                    const std::vector<CellResult> &cells)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writeCellMatrixJson(out, title, cells);
+    return static_cast<bool>(out);
+}
+
+std::string
+slugify(const std::string &title)
+{
+    std::string out;
+    bool pending_sep = false;
+    for (char ch : title) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        if (std::isalnum(c)) {
+            if (pending_sep && !out.empty())
+                out += '_';
+            pending_sep = false;
+            out += static_cast<char>(std::tolower(c));
+        } else {
+            pending_sep = true;
+        }
+    }
+    return out.empty() ? "untitled" : out;
 }
 
 } // namespace emv::sim

@@ -39,6 +39,30 @@ std::string fmt(double value, int precision = 2);
 /** "1.25 GB" style byte counts. */
 std::string bytesStr(std::uint64_t bytes);
 
+struct CellResult;
+
+/**
+ * Dump every registered StatGroup as emv-stats-v1 JSON.  The path
+ * variant truncates the file; @return false when it cannot be
+ * opened.  Both run under the StatsExport profiling phase.
+ */
+void writeStatsJson(std::ostream &os);
+bool writeStatsJson(const std::string &path);
+
+/**
+ * Machine-readable companion to the bench bar charts: one object per
+ * (workload, config) cell with overheads, misses and walk costs.
+ * Schema "emv-bench-v1".
+ */
+void writeCellMatrixJson(std::ostream &os, const std::string &title,
+                         const std::vector<CellResult> &cells);
+bool writeCellMatrixJson(const std::string &path,
+                         const std::string &title,
+                         const std::vector<CellResult> &cells);
+
+/** "Fig. 11: Big-memory" -> "fig_11_big_memory" (for file names). */
+std::string slugify(const std::string &title);
+
 } // namespace emv::sim
 
 #endif // EMV_SIM_REPORT_HH

@@ -1,5 +1,7 @@
 #include "tlb/tlb_hierarchy.hh"
 
+#include "common/trace.hh"
+
 namespace emv::tlb {
 
 TlbHierarchy::TlbHierarchy(const TlbGeometry &g)
@@ -8,6 +10,15 @@ TlbHierarchy::TlbHierarchy(const TlbGeometry &g)
       l1Tlb1G("l1tlb1g", g.l1Sets1G, g.l1Ways1G),
       l2Tlb("l2tlb", g.l2Sets, g.l2Ways)
 {
+}
+
+void
+TlbHierarchy::setStatsParent(const StatGroup *parent)
+{
+    l1Tlb4K.stats().setParent(parent);
+    l1Tlb2M.stats().setParent(parent);
+    l1Tlb1G.stats().setParent(parent);
+    l2Tlb.stats().setParent(parent);
 }
 
 Tlb &
@@ -60,6 +71,9 @@ TlbHierarchy::lookupNested(Addr gpa)
 void
 TlbHierarchy::insertGuest(Addr gva, Addr hframe, PageSize size)
 {
+    EMV_TRACE(Tlb, "fill guest gva=%s frame=%s size=%s",
+              hexAddr(gva).c_str(), hexAddr(hframe).c_str(),
+              pageSizeName(size));
     l1For(size).insert(EntryKind::Guest, gva, hframe, size);
     if (size == PageSize::Size4K)
         l2Tlb.insert(EntryKind::Guest, gva, hframe, size);
@@ -68,6 +82,9 @@ TlbHierarchy::insertGuest(Addr gva, Addr hframe, PageSize size)
 void
 TlbHierarchy::insertNested(Addr gpa, Addr hframe, PageSize size)
 {
+    EMV_TRACE(Tlb, "fill nested gpa=%s frame=%s size=%s",
+              hexAddr(gpa).c_str(), hexAddr(hframe).c_str(),
+              pageSizeName(size));
     if (size != PageSize::Size1G)
         l2Tlb.insert(EntryKind::Nested, gpa, hframe, size);
 }
@@ -75,6 +92,7 @@ TlbHierarchy::insertNested(Addr gpa, Addr hframe, PageSize size)
 void
 TlbHierarchy::flushGuest()
 {
+    EMV_TRACE(Tlb, "flush guest (context switch)");
     l1Tlb4K.flushKind(EntryKind::Guest);
     l1Tlb2M.flushKind(EntryKind::Guest);
     l1Tlb1G.flushKind(EntryKind::Guest);
@@ -84,6 +102,7 @@ TlbHierarchy::flushGuest()
 void
 TlbHierarchy::flushAll()
 {
+    EMV_TRACE(Tlb, "flush all");
     l1Tlb4K.flushAll();
     l1Tlb2M.flushAll();
     l1Tlb1G.flushAll();
@@ -93,6 +112,8 @@ TlbHierarchy::flushAll()
 void
 TlbHierarchy::flushGuestPage(Addr gva, PageSize size)
 {
+    EMV_TRACE(Tlb, "flush guest page gva=%s size=%s",
+              hexAddr(gva).c_str(), pageSizeName(size));
     l1For(size).flushPage(EntryKind::Guest, gva, size);
     l2Tlb.flushPage(EntryKind::Guest, gva, size);
 }
@@ -100,6 +121,8 @@ TlbHierarchy::flushGuestPage(Addr gva, PageSize size)
 void
 TlbHierarchy::flushNestedPage(Addr gpa, PageSize size)
 {
+    EMV_TRACE(Tlb, "flush nested page gpa=%s size=%s",
+              hexAddr(gpa).c_str(), pageSizeName(size));
     l2Tlb.flushPage(EntryKind::Nested, gpa, size);
 }
 

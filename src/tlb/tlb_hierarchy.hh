@@ -66,6 +66,9 @@ class TlbHierarchy
     Tlb &l1For(PageSize size);
     Tlb &l2() { return l2Tlb; }
 
+    /** Reparent every TLB's stat group under @p parent. */
+    void setStatsParent(const StatGroup *parent);
+
   private:
     Tlb l1Tlb4K;
     Tlb l1Tlb2M;

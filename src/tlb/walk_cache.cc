@@ -1,5 +1,7 @@
 #include "tlb/walk_cache.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace emv::tlb {
@@ -18,8 +20,9 @@ mix(std::uint64_t x)
 
 } // namespace
 
-WalkCache::WalkCache(unsigned sets, unsigned ways)
+WalkCache::WalkCache(unsigned sets, unsigned ways, std::string name)
     : numSets(sets), numWays(ways), entries(sets * ways),
+      _stats(std::move(name)),
       hitsCtr(&_stats.counter("hits")),
       missesCtr(&_stats.counter("misses"))
 {
@@ -81,8 +84,9 @@ WalkCache::flush()
     ++_stats.counter("flushes");
 }
 
-LineCache::LineCache(unsigned sets, unsigned ways)
+LineCache::LineCache(unsigned sets, unsigned ways, std::string name)
     : numSets(sets), numWays(ways), entries(sets * ways),
+      _stats(std::move(name)),
       hitsCtr(&_stats.counter("hits")),
       missesCtr(&_stats.counter("misses"))
 {

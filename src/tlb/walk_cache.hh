@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -36,7 +37,8 @@ namespace emv::tlb {
 class WalkCache
 {
   public:
-    WalkCache(unsigned sets, unsigned ways);
+    WalkCache(unsigned sets, unsigned ways,
+              std::string name = "walkcache");
 
     /** Compose the lookup key for @p level and address @p va. */
     static std::uint64_t
@@ -71,7 +73,7 @@ class WalkCache
     unsigned numWays;
     std::uint64_t tick = 0;
     std::vector<Entry> entries;
-    StatGroup _stats{"walkcache"};
+    StatGroup _stats;
     Counter *hitsCtr;
     Counter *missesCtr;
 };
@@ -84,7 +86,8 @@ class WalkCache
 class LineCache
 {
   public:
-    LineCache(unsigned sets, unsigned ways);
+    LineCache(unsigned sets, unsigned ways,
+              std::string name = "linecache");
 
     /** Touch the line containing @p pa; @return true on hit. */
     bool access(Addr pa);
@@ -104,7 +107,7 @@ class LineCache
     unsigned numWays;
     std::uint64_t tick = 0;
     std::vector<Entry> entries;
-    StatGroup _stats{"linecache"};
+    StatGroup _stats;
     Counter *hitsCtr;
     Counter *missesCtr;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace emv::vmm {
 
@@ -134,6 +135,10 @@ Vmm::createVm(std::string name, const VmConfig &config)
 {
     _vms.push_back(
         std::make_unique<Vm>(*this, std::move(name), config));
+    EMV_TRACE(Vmm, "created VM \"%s\" ram=%llu nested=%s",
+              _vms.back()->name().c_str(),
+              static_cast<unsigned long long>(config.ramBytes),
+              pageSizeName(config.nestedPageSize));
     return *_vms.back();
 }
 
@@ -525,6 +530,9 @@ Vm::createVmmSegment(Addr min_bytes)
     }
     segmentRegion = Interval{extent->gpa, extent->gpa + extent->bytes};
     ++_stats.counter("vmm_segments_created");
+    EMV_TRACE(Vmm, "VMM segment created: %s (%zu escapes)",
+              info.regs.toString().c_str(),
+              info.escapedGpas.size());
     return info;
 }
 

@@ -1,0 +1,105 @@
+/** @file Unit tests for the debug-trace flags. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/trace.hh"
+
+namespace emv {
+namespace {
+
+/** Installs an in-memory sink and clears flags on both ends. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::clearFlags();
+        trace::setSink(&captured);
+    }
+
+    void
+    TearDown() override
+    {
+        trace::setSink(nullptr);
+        trace::clearFlags();
+    }
+
+    std::ostringstream captured;
+};
+
+TEST_F(TraceTest, DisabledFlagEmitsNothing)
+{
+    EMV_TRACE(Walk, "should not appear %d", 1);
+    EXPECT_TRUE(captured.str().empty());
+    EXPECT_FALSE(trace::enabled(trace::Flag::Walk));
+}
+
+TEST_F(TraceTest, EnabledFlagEmitsPrefixedRecord)
+{
+    ASSERT_TRUE(trace::setFlags("Walk"));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Walk));
+    EMV_TRACE(Walk, "gva=%#x refs=%d", 0x1000, 24);
+    EXPECT_EQ(captured.str(), "Walk: gva=0x1000 refs=24\n");
+}
+
+TEST_F(TraceTest, OnlyNamedFlagsEnabled)
+{
+    ASSERT_TRUE(trace::setFlags("Tlb,Filter"));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Tlb));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Filter));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Walk));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Balloon));
+
+    EMV_TRACE(Walk, "hidden");
+    EMV_TRACE(Tlb, "shown");
+    EXPECT_EQ(captured.str(), "Tlb: shown\n");
+}
+
+TEST_F(TraceTest, AllEnablesEveryFlag)
+{
+    ASSERT_TRUE(trace::setFlags("All"));
+    const unsigned num =
+        static_cast<unsigned>(trace::Flag::NumFlags);
+    EXPECT_EQ(trace::enabledFlags().size(), num);
+    for (unsigned i = 0; i < num; ++i)
+        EXPECT_TRUE(trace::enabled(static_cast<trace::Flag>(i)));
+}
+
+TEST_F(TraceTest, UnknownFlagRejectedAndStateUntouched)
+{
+    ASSERT_TRUE(trace::setFlags("Tlb"));
+    EXPECT_FALSE(trace::setFlags("Tlb,Bogus"));
+    // Failed parse leaves the previous set alone.
+    EXPECT_TRUE(trace::enabled(trace::Flag::Tlb));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Walk));
+}
+
+TEST_F(TraceTest, EmptyCsvDisablesEverything)
+{
+    ASSERT_TRUE(trace::setFlags("All"));
+    ASSERT_TRUE(trace::setFlags(""));
+    EXPECT_TRUE(trace::enabledFlags().empty());
+    EMV_TRACE(Vmm, "nope");
+    EXPECT_TRUE(captured.str().empty());
+}
+
+TEST_F(TraceTest, FlagNamesRoundTrip)
+{
+    const unsigned num =
+        static_cast<unsigned>(trace::Flag::NumFlags);
+    for (unsigned i = 0; i < num; ++i) {
+        const auto flag = static_cast<trace::Flag>(i);
+        auto parsed = trace::flagByName(trace::flagName(flag));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, flag);
+    }
+    EXPECT_FALSE(trace::flagByName("NotAFlag").has_value());
+    EXPECT_NE(trace::allFlagNames().find("Walk"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace emv

@@ -7,11 +7,21 @@
  *   emvsim [workload=gups] [config=4K+4K] [scale=0.25]
  *          [ops=1000000] [warmup=200000] [seed=42] [badframes=0]
  *          [fragguest=0] [fraghost=0] [stats=1]
+ *          [statsjson=stats.json] [trace=Tlb,Walk]
+ *          [tracefile=trace.log] [profile=1]
  *
  * `config` accepts the paper's labels: 4K 2M 1G THP, A+B combos,
  * DS DD 4K+VD 4K+GD 2M+VD THP+VD sh4K sh2M ...
  * `fragguest`/`fraghost` set the max free-run size in MB (0 = no
  * fragmentation).
+ *
+ * Observability:
+ *   statsjson=PATH   dump every stat group as emv-stats-v1 JSON.
+ *   trace=FLAGS      comma-separated debug-trace flags (Tlb, Walk,
+ *                    Segment, Filter, Balloon, Compaction, Vmm,
+ *                    Hotplug, or All).
+ *   tracefile=PATH   send trace records to PATH instead of stderr.
+ *   profile=1        print a phase-timing summary (RAII timers).
  */
 
 #include <cstdio>
@@ -20,6 +30,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 
@@ -98,6 +109,15 @@ main(int argc, char **argv)
         params.seed = std::strtoull(v, nullptr, 10);
     if (const char *v = argValue(argc, argv, "badframes"))
         params.badFrames = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = argValue(argc, argv, "statsjson"))
+        params.statsJsonPath = v;
+    if (const char *v = argValue(argc, argv, "trace"))
+        params.traceFlags = v;
+    if (const char *v = argValue(argc, argv, "tracefile"))
+        params.traceFilePath = v;
+    if (const char *v = argValue(argc, argv, "profile"))
+        params.profile = std::atoi(v) != 0;
+    params.applyObservability();
 
     auto wl = workload::makeWorkload(*kind, params.seed,
                                      params.scale);
@@ -157,6 +177,21 @@ main(int argc, char **argv)
         }
         std::printf("\n-- os counters --\n");
         machine.os().stats().dump(std::cout);
+    }
+
+    if (!params.statsJsonPath.empty()) {
+        if (sim::writeStatsJson(params.statsJsonPath)) {
+            std::printf("\nwrote %s\n",
+                        params.statsJsonPath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         params.statsJsonPath.c_str());
+            return 1;
+        }
+    }
+    if (params.profile) {
+        std::printf("\n");
+        prof::report(std::cout);
     }
     return 0;
 }

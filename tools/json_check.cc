@@ -1,0 +1,108 @@
+/**
+ * @file
+ * json_check — tiny validator for the observability outputs.
+ *
+ * Usage:
+ *   json_check <stats.json> [trace.log]
+ *
+ * Exits 0 when <stats.json> parses as strict JSON, carries the
+ * emv-stats-v1 schema tag, and contains at least one group with at
+ * least one counter.  When a trace file is given it must exist and
+ * be non-empty.  Used by the CTest smoke test to pin down the
+ * emvsim statsjson=/tracefile= contract.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr,
+                     "usage: json_check <stats.json> [trace.log]\n");
+        return 2;
+    }
+
+    std::string text;
+    if (!readFile(argv[1], text)) {
+        std::fprintf(stderr, "json_check: cannot read '%s'\n",
+                     argv[1]);
+        return 1;
+    }
+
+    emv::json::Value root;
+    if (!emv::json::parse(text, root)) {
+        std::fprintf(stderr, "json_check: '%s' is not well-formed "
+                     "JSON\n", argv[1]);
+        return 1;
+    }
+    if (!root.isObject()) {
+        std::fprintf(stderr, "json_check: top level is not an "
+                     "object\n");
+        return 1;
+    }
+    const emv::json::Value *schema = root.find("schema");
+    if (!schema || schema->kind != emv::json::Value::Kind::String ||
+        schema->string != "emv-stats-v1") {
+        std::fprintf(stderr, "json_check: missing or wrong schema "
+                     "tag (want \"emv-stats-v1\")\n");
+        return 1;
+    }
+    const emv::json::Value *groups = root.find("groups");
+    if (!groups || !groups->isArray() || groups->array.empty()) {
+        std::fprintf(stderr, "json_check: no stat groups\n");
+        return 1;
+    }
+    std::size_t counters = 0;
+    for (const auto &group : groups->array) {
+        const emv::json::Value *name = group.find("name");
+        if (!name ||
+            name->kind != emv::json::Value::Kind::String ||
+            name->string.empty()) {
+            std::fprintf(stderr, "json_check: group without a "
+                         "name\n");
+            return 1;
+        }
+        if (const emv::json::Value *c = group.find("counters"))
+            counters += c->object.size();
+    }
+    if (counters == 0) {
+        std::fprintf(stderr, "json_check: no counters in any "
+                     "group\n");
+        return 1;
+    }
+
+    if (argc == 3) {
+        std::string trace_text;
+        if (!readFile(argv[2], trace_text) || trace_text.empty()) {
+            std::fprintf(stderr, "json_check: trace file '%s' "
+                         "missing or empty\n", argv[2]);
+            return 1;
+        }
+    }
+
+    std::printf("json_check: ok (%zu groups, %zu counters)\n",
+                groups->array.size(), counters);
+    return 0;
+}
