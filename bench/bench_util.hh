@@ -1,7 +1,6 @@
 /** @file Shared helpers for the figure/table bench binaries. */
 
-#ifndef EMV_BENCH_BENCH_UTIL_HH
-#define EMV_BENCH_BENCH_UTIL_HH
+#pragma once
 
 #include <cstdio>
 #include <iostream>
@@ -74,4 +73,3 @@ runOverheadMatrix(const std::string &title,
 
 } // namespace emv::bench
 
-#endif // EMV_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,129 @@
+#include "common/audit.hh"
+
+#include "common/trace.hh"
+
+namespace emv::audit {
+
+namespace {
+
+bool failFastFlag = false;
+
+/**
+ * Counters live in a function-local StatGroup so the first audit use
+ * (possibly from a static initializer in a test) still finds the
+ * registry alive, and the group survives until process exit.
+ */
+struct AuditStats
+{
+    StatGroup group{"audit"};
+    Counter &checks = group.counter("checks");
+    Counter &failures = group.counter("failures");
+    Counter &mismatches = group.counter("mismatches");
+
+    AuditStats() { group.setParent("machine"); }
+};
+
+AuditStats &
+auditStats()
+{
+    static AuditStats stats;
+    return stats;
+}
+
+/** Route one audit record: trace sink if Audit is on, else warn(). */
+void
+emitRecord(const std::string &msg)
+{
+    if (trace::enabled(trace::Flag::Audit))
+        trace::emit(trace::Flag::Audit, msg);
+    else
+        emv_warn("%s", msg.c_str());
+}
+
+} // namespace
+
+namespace detail {
+
+std::uint32_t auditMask = 0;
+
+void
+countCheck()
+{
+    ++auditStats().checks;
+}
+
+void
+failImpl(const char *kind, const char *expr, const char *file,
+         int line, const std::string &msg)
+{
+    ++auditStats().failures;
+    const std::string record = emv::detail::format(
+        "%s failed: %s (%s) at %s:%d", kind, msg.c_str(), expr, file,
+        line);
+    emitRecord(record);
+    if (failFastFlag)
+        emv_panic("audit %s", record.c_str());
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::auditMask = on ? 1u : 0u;
+    if (on)
+        auditStats();  // Materialize machine.audit in the registry.
+}
+
+void
+setFailFast(bool on)
+{
+    failFastFlag = on;
+}
+
+bool
+failFast()
+{
+    return failFastFlag;
+}
+
+StatGroup &
+stats()
+{
+    return auditStats().group;
+}
+
+std::uint64_t
+checkCount()
+{
+    return auditStats().checks.value();
+}
+
+std::uint64_t
+failureCount()
+{
+    return auditStats().failures.value();
+}
+
+std::uint64_t
+mismatchCount()
+{
+    return auditStats().mismatches.value();
+}
+
+void
+resetCounters()
+{
+    auditStats().group.resetAll();
+}
+
+void
+reportMismatch(const std::string &msg)
+{
+    ++auditStats().mismatches;
+    emitRecord("mismatch: " + msg);
+    if (failFastFlag)
+        emv_panic("audit mismatch: %s", msg.c_str());
+}
+
+} // namespace emv::audit

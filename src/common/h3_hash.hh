@@ -11,8 +11,7 @@
  * paper picks it.
  */
 
-#ifndef EMV_COMMON_H3_HASH_HH
-#define EMV_COMMON_H3_HASH_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -60,4 +59,3 @@ class H3Family
 
 } // namespace emv
 
-#endif // EMV_COMMON_H3_HASH_HH

@@ -1,8 +1,28 @@
 #include "common/intervals.hh"
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv {
+
+void
+IntervalSet::auditInvariants(const char *what) const
+{
+    Addr prev_end = 0;
+    bool first = true;
+    for (const auto &[start, end] : byStart) {
+        EMV_INVARIANT(end > start,
+                      "%s: empty interval [%s, %s)", what,
+                      hexAddr(start).c_str(), hexAddr(end).c_str());
+        EMV_INVARIANT(first || start > prev_end,
+                      "%s: intervals overlap or touch at %s "
+                      "(previous ends at %s)", what,
+                      hexAddr(start).c_str(),
+                      hexAddr(prev_end).c_str());
+        prev_end = end;
+        first = false;
+    }
+}
 
 void
 IntervalSet::insert(Addr start, Addr end)
@@ -26,6 +46,8 @@ IntervalSet::insert(Addr start, Addr end)
         it = byStart.erase(it);
     }
     byStart.emplace(start, end);
+    if (audit::enabled())
+        auditInvariants();
 }
 
 void
@@ -51,6 +73,8 @@ IntervalSet::erase(Addr start, Addr end)
             break;
         }
     }
+    if (audit::enabled())
+        auditInvariants();
 }
 
 bool

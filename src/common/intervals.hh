@@ -8,8 +8,7 @@
  * candidates.
  */
 
-#ifndef EMV_COMMON_INTERVALS_HH
-#define EMV_COMMON_INTERVALS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -87,6 +86,14 @@ class IntervalSet
     /** All intervals in ascending order. */
     std::vector<Interval> intervals() const;
 
+    /**
+     * Audit-mode structural check (EMV_INVARIANT): every interval is
+     * non-empty and the set is disjoint *and* coalesced (no two
+     * intervals touch).  @p what names the owner in failure records.
+     * Called automatically by insert()/erase() under auditing.
+     */
+    void auditInvariants(const char *what = "intervals") const;
+
     bool empty() const { return byStart.empty(); }
     std::size_t count() const { return byStart.size(); }
     void clear() { byStart.clear(); }
@@ -98,4 +105,3 @@ class IntervalSet
 
 } // namespace emv
 
-#endif // EMV_COMMON_INTERVALS_HH

@@ -13,8 +13,7 @@
  * practice.
  */
 
-#ifndef EMV_COMMON_JSON_HH
-#define EMV_COMMON_JSON_HH
+#pragma once
 
 #include <cctype>
 #include <cmath>
@@ -471,4 +470,3 @@ wellFormed(const std::string &text)
 
 } // namespace emv::json
 
-#endif // EMV_COMMON_JSON_HH

@@ -7,8 +7,7 @@
  * warn() / inform() report conditions without stopping.
  */
 
-#ifndef EMV_COMMON_LOGGING_HH
-#define EMV_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -64,4 +63,3 @@ bool quietLogging();
 
 } // namespace emv
 
-#endif // EMV_COMMON_LOGGING_HH

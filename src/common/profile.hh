@@ -11,8 +11,7 @@
  * for every phase that ran.
  */
 
-#ifndef EMV_COMMON_PROFILE_HH
-#define EMV_COMMON_PROFILE_HH
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -99,4 +98,3 @@ class Scope
 
 } // namespace emv::prof
 
-#endif // EMV_COMMON_PROFILE_HH

@@ -8,8 +8,7 @@
  * experiment is exactly reproducible from its printed seed.
  */
 
-#ifndef EMV_COMMON_RNG_HH
-#define EMV_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -66,4 +65,3 @@ std::uint64_t splitMix64(std::uint64_t &state);
 
 } // namespace emv
 
-#endif // EMV_COMMON_RNG_HH

@@ -14,8 +14,7 @@
  *   - CsvStatExporter:  "group,stat,kind,value" rows.
  */
 
-#ifndef EMV_COMMON_STAT_REGISTRY_HH
-#define EMV_COMMON_STAT_REGISTRY_HH
+#pragma once
 
 #include <memory>
 #include <mutex>
@@ -140,4 +139,3 @@ void exportStatsCsv(std::ostream &os,
 
 } // namespace emv
 
-#endif // EMV_COMMON_STAT_REGISTRY_HH

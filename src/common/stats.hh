@@ -14,8 +14,7 @@
  * JSON and CSV output all read the same structure.
  */
 
-#ifndef EMV_COMMON_STATS_HH
-#define EMV_COMMON_STATS_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -199,4 +198,3 @@ ConfidenceInterval confidence95(const std::vector<double> &samples);
 
 } // namespace emv
 
-#endif // EMV_COMMON_STATS_HH

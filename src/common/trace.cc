@@ -40,6 +40,7 @@ namespace {
 constexpr const char *kFlagNames[] = {
     "Tlb",    "Walk",       "Segment", "Filter",
     "Balloon", "Compaction", "Vmm",     "Hotplug",
+    "Audit",
 };
 static_assert(std::size(kFlagNames) ==
               static_cast<unsigned>(Flag::NumFlags));

@@ -15,8 +15,7 @@
  * cycles (emitted by core/mmu.cc).
  */
 
-#ifndef EMV_COMMON_TRACE_HH
-#define EMV_COMMON_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -38,6 +37,8 @@ enum class Flag : unsigned {
     Compaction,  //!< Compaction daemon windows and migrations.
     Vmm,         //!< VMM slot/backing/segment events.
     Hotplug,     //!< Memory hot-add/remove, I/O-gap reclaim.
+    Audit,       //!< EMV_CHECK/EMV_INVARIANT and differential-audit
+                 //!< failure records (see common/audit.hh).
     NumFlags,
 };
 
@@ -108,4 +109,3 @@ emit(Flag flag, const std::string &msg)
         }                                                              \
     } while (0)
 
-#endif // EMV_COMMON_TRACE_HH

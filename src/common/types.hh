@@ -9,8 +9,7 @@
  * translation-correctness study.
  */
 
-#ifndef EMV_COMMON_TYPES_HH
-#define EMV_COMMON_TYPES_HH
+#pragma once
 
 #include <compare>
 #include <cstdint>
@@ -152,4 +151,3 @@ struct hash<emv::TypedAddr<Tag>>
 
 } // namespace std
 
-#endif // EMV_COMMON_TYPES_HH

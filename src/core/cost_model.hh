@@ -10,8 +10,7 @@
  * pessimistic Δ assumption, §VII).
  */
 
-#ifndef EMV_CORE_COST_MODEL_HH
-#define EMV_CORE_COST_MODEL_HH
+#pragma once
 
 #include "common/types.hh"
 
@@ -53,4 +52,3 @@ struct CostModel
 
 } // namespace emv::core
 
-#endif // EMV_CORE_COST_MODEL_HH

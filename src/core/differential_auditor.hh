@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Differential audit of the dimensionality reductions.
+ *
+ * The paper's Table I/II equivalence says every fast path — L1/L2
+ * TLB hits, the Dual Direct 0D both-segments hit, the unvirtualized
+ * direct segment, VMM/Guest Direct flattened walks — must produce
+ * the *same hPA and fault outcome* as the reference two-dimensional
+ * nested walk over the current page tables; only the number of
+ * references (the cost) may differ.
+ *
+ * The DifferentialAuditor enforces that mechanically: in audit mode
+ * (emvsim audit=1, audit::setEnabled(true)) it re-translates every
+ * MMU lookup through a cache-free reference translation — no TLBs,
+ * no paging-structure caches, no PTE-line cache, no stat effects on
+ * the MMU — and reports any divergence through
+ * audit::reportMismatch() (counted as machine.audit.mismatches).
+ *
+ * Because TLB and PSC hits are compared against a fresh walk of the
+ * live tables, a single stale cached entry anywhere in the hierarchy
+ * shows up as a mismatch on its next use, making the auditor a TLB/
+ * PSC coherence checker as well as a fast-path equivalence checker.
+ *
+ * Audit mode deliberately trades fidelity of *performance* counters
+ * for correctness checking: reference re-walks read physical memory
+ * through the same PhysMemory, so machine.physmem.reads is inflated
+ * while auditing.  Translation results are unchanged.
+ */
+
+#pragma once
+
+#include "common/types.hh"
+#include "paging/walk.hh"
+
+namespace emv::core {
+
+class Mmu;
+struct TranslationResult;
+
+/** Re-translates lookups through the reference walk and compares. */
+class DifferentialAuditor
+{
+  public:
+    explicit DifferentialAuditor(Mmu &mmu);
+
+    /**
+     * Compare @p result (what the MMU returned for @p gva) against
+     * the reference translation.  Counts one audit check; reports a
+     * mismatch when the hPA or the fault outcome diverges.
+     * @return true when the paths agree.
+     */
+    bool auditTranslation(Addr gva, const TranslationResult &result);
+
+    /**
+     * The cache-free reference translation of @p gva under the MMU's
+     * current mode, roots, segments and escape filters.
+     */
+    paging::WalkOutcome referenceTranslate(Addr gva) const;
+
+  private:
+    /** Reference gPA→hPA: optional VMM segment, else nested walk. */
+    paging::WalkOutcome referenceToHost(Addr gpa, bool use_vmm_seg,
+                                        paging::WalkTrace &trace) const;
+
+    Mmu &mmu;
+};
+
+} // namespace emv::core

@@ -15,8 +15,7 @@
  * predictions against full simulation (bench/tab04_models).
  */
 
-#ifndef EMV_CORE_LINEAR_MODEL_HH
-#define EMV_CORE_LINEAR_MODEL_HH
+#pragma once
 
 #include <cstdint>
 
@@ -55,4 +54,3 @@ double predictGuestDirectCycles(const ModelInputs &in);
 
 } // namespace emv::core
 
-#endif // EMV_CORE_LINEAR_MODEL_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "core/differential_auditor.hh"
 #include "mem/phys_memory.hh"
 
 namespace emv::core {
@@ -94,6 +96,8 @@ Mmu::Mmu(mem::PhysMemory &host_mem, const MmuConfig &config)
     _vmmFilter->stats().setParent(&_stats);
     _guestFilter->stats().setParent(&_stats);
 }
+
+Mmu::~Mmu() = default;
 
 void
 Mmu::setMode(Mode mode)
@@ -415,6 +419,22 @@ Mmu::doWalk(Addr gva, WalkTrace &trace, TranslationResult &result)
 
 TranslationResult
 Mmu::translate(Addr gva)
+{
+    TranslationResult result = translateImpl(gva);
+    if (audit::enabled()) {
+        if (!auditor)
+            auditor = std::make_unique<DifferentialAuditor>(*this);
+        auditor->auditTranslation(gva, result);
+        EMV_CHECK(!result.ok || result.hpa < hostMem.size(),
+                  "translated hPA %s beyond physical memory (%s)",
+                  hexAddr(result.hpa).c_str(),
+                  hexAddr(hostMem.size()).c_str());
+    }
+    return result;
+}
+
+TranslationResult
+Mmu::translateImpl(Addr gva)
 {
     ++*accessesCtr;
     TranslationResult result;

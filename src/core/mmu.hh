@@ -30,8 +30,7 @@
  *                             "Neither" categories.
  */
 
-#ifndef EMV_CORE_MMU_HH
-#define EMV_CORE_MMU_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -51,6 +50,8 @@
 namespace emv::mem { class PhysMemory; }
 
 namespace emv::core {
+
+class DifferentialAuditor;
 
 /** Construction-time knobs. */
 struct MmuConfig
@@ -110,6 +111,7 @@ class Mmu
 {
   public:
     Mmu(mem::PhysMemory &host_mem, const MmuConfig &config = {});
+    ~Mmu();
 
     /** @{ Mode and translation-source plumbing. */
     void setMode(Mode mode);
@@ -169,6 +171,10 @@ class Mmu
   private:
     friend class NestedPagingTranslator;
     friend class SegmentFirstTranslator;
+    friend class DifferentialAuditor;
+
+    /** translate() minus the audit hook (all the real work). */
+    TranslationResult translateImpl(Addr gva);
 
     /** Price a trace's refs through the PTE-line cache; counts the
      *  refs that hit a cached line into @p line_hits. */
@@ -214,6 +220,9 @@ class Mmu
     std::unique_ptr<segment::EscapeFilter> _vmmFilter;
     std::unique_ptr<segment::EscapeFilter> _guestFilter;
 
+    /** Lazily built differential checker (audit mode only). */
+    std::unique_ptr<DifferentialAuditor> auditor;
+
     /** Per-walk scratch state (reset in translate()). */
     FaultSpace pendingFaultSpace = FaultSpace::None;
     Addr pendingFaultAddr = 0;
@@ -247,4 +256,3 @@ class Mmu
 
 } // namespace emv::core
 
-#endif // EMV_CORE_MMU_HH

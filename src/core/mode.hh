@@ -8,8 +8,7 @@
  * intrusive hardware, and the three new virtualized modes.
  */
 
-#ifndef EMV_CORE_MODE_HH
-#define EMV_CORE_MODE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -74,4 +73,3 @@ std::ostream &operator<<(std::ostream &os, Mode mode);
 
 } // namespace emv::core
 
-#endif // EMV_CORE_MODE_HH

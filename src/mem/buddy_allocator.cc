@@ -1,5 +1,6 @@
 #include "mem/buddy_allocator.hh"
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv::mem {
@@ -98,6 +99,8 @@ BuddyAllocator::allocate(unsigned order)
         block += orderBytes(k);
     }
     ++_stats.counter("allocations");
+    if (audit::enabled())
+        auditInvariants();
     return block;
 }
 
@@ -135,6 +138,8 @@ BuddyAllocator::free(Addr block, unsigned order)
                hexAddr(block).c_str());
     ++_stats.counter("frees");
     insertFree(block, order);
+    if (audit::enabled())
+        auditInvariants();
 }
 
 bool
@@ -191,6 +196,8 @@ BuddyAllocator::allocateRange(Addr start, Addr length)
         }
     }
     ++_stats.counter("range_allocations");
+    if (audit::enabled())
+        auditInvariants();
     return true;
 }
 
@@ -214,6 +221,45 @@ BuddyAllocator::freeRange(Addr start, Addr length)
         addr += orderBytes(order);
     }
     ++_stats.counter("range_frees");
+    if (audit::enabled())
+        auditInvariants();
+}
+
+void
+BuddyAllocator::auditInvariants() const
+{
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        for (Addr block : freeLists[order]) {
+            const Addr offset = block - rangeBase;
+            EMV_INVARIANT(block >= rangeBase &&
+                          offset + orderBytes(order) <= rangeSize,
+                          "buddy: free block %s order %u outside "
+                          "managed range", hexAddr(block).c_str(),
+                          order);
+            EMV_INVARIANT(isAligned(offset, orderBytes(order)),
+                          "buddy: free block %s not aligned to "
+                          "order %u", hexAddr(block).c_str(), order);
+            if (order < kMaxOrder) {
+                const Addr buddy =
+                    rangeBase + (offset ^ orderBytes(order));
+                EMV_INVARIANT(freeLists[order].count(buddy) == 0 ||
+                              buddy == block,
+                              "buddy: blocks %s and %s are free "
+                              "buddies left uncoalesced at order %u",
+                              hexAddr(std::min(block, buddy)).c_str(),
+                              hexAddr(std::max(block, buddy)).c_str(),
+                              order);
+            }
+        }
+    }
+    // If any block sat on two lists or two blocks overlapped, the
+    // coalesced interval coverage would be short of the list total.
+    EMV_INVARIANT(freeIntervals().totalLength() == freeBytes(),
+                  "buddy: free-list accounting mismatch (%llu "
+                  "interval bytes vs %llu list bytes)",
+                  static_cast<unsigned long long>(
+                      freeIntervals().totalLength()),
+                  static_cast<unsigned long long>(freeBytes()));
 }
 
 Addr

@@ -13,8 +13,7 @@
  * substrate.
  */
 
-#ifndef EMV_MEM_BUDDY_ALLOCATOR_HH
-#define EMV_MEM_BUDDY_ALLOCATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -88,6 +87,16 @@ class BuddyAllocator
 
     StatGroup &stats() { return _stats; }
 
+    /**
+     * Audit-mode structural check (EMV_INVARIANT): every free block
+     * is naturally aligned and inside the managed range, no two
+     * buddies sit uncoalesced on the same free list, and the free
+     * lists' byte accounting matches their coalesced interval
+     * coverage (i.e. no block is on two lists and none overlap).
+     * Called automatically by the allocation paths under auditing.
+     */
+    void auditInvariants() const;
+
     /** Order of the smallest block covering @p bytes. */
     static unsigned orderForBytes(Addr bytes);
 
@@ -107,4 +116,3 @@ class BuddyAllocator
 
 } // namespace emv::mem
 
-#endif // EMV_MEM_BUDDY_ALLOCATOR_HH

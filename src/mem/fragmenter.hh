@@ -9,8 +9,7 @@
  * residue of a long-running mixed workload.
  */
 
-#ifndef EMV_MEM_FRAGMENTER_HH
-#define EMV_MEM_FRAGMENTER_HH
+#pragma once
 
 #include <vector>
 
@@ -65,4 +64,3 @@ class Fragmenter
 
 } // namespace emv::mem
 
-#endif // EMV_MEM_FRAGMENTER_HH

@@ -9,8 +9,7 @@
  * Linux image runs bare-metal or under KVM.
  */
 
-#ifndef EMV_MEM_PHYS_ACCESSOR_HH
-#define EMV_MEM_PHYS_ACCESSOR_HH
+#pragma once
 
 #include <cstdint>
 
@@ -107,4 +106,3 @@ class HostPhysAccessor : public PhysAccessor
 
 } // namespace emv::mem
 
-#endif // EMV_MEM_PHYS_ACCESSOR_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv::mem {
@@ -41,6 +42,8 @@ PhysMemory::read64(Addr addr) const
 {
     emv_assert(isAligned(addr, 8), "misaligned 64-bit read at %s",
                hexAddr(addr).c_str());
+    EMV_CHECK(addr < sizeBytes, "read of %s beyond physical size %s",
+              hexAddr(addr).c_str(), hexAddr(sizeBytes).c_str());
     ++_stats.counter("reads");
     const Frame *frame = frameForConst(addr);
     if (!frame)
@@ -53,6 +56,8 @@ PhysMemory::write64(Addr addr, std::uint64_t value)
 {
     emv_assert(isAligned(addr, 8), "misaligned 64-bit write at %s",
                hexAddr(addr).c_str());
+    EMV_CHECK(addr < sizeBytes, "write of %s beyond physical size %s",
+              hexAddr(addr).c_str(), hexAddr(sizeBytes).c_str());
     ++_stats.counter("writes");
     frameFor(addr)[(addr & (kPage4K - 1)) >> 3] = value;
 }

@@ -15,8 +15,7 @@
  * machinery consults that registry.
  */
 
-#ifndef EMV_MEM_PHYS_MEMORY_HH
-#define EMV_MEM_PHYS_MEMORY_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -89,4 +88,3 @@ class PhysMemory
 
 } // namespace emv::mem
 
-#endif // EMV_MEM_PHYS_MEMORY_HH

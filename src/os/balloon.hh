@@ -11,8 +11,7 @@
  * paying for compaction.
  */
 
-#ifndef EMV_OS_BALLOON_HH
-#define EMV_OS_BALLOON_HH
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -85,4 +84,3 @@ class BalloonDriver
 
 } // namespace emv::os
 
-#endif // EMV_OS_BALLOON_HH

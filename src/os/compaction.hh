@@ -10,8 +10,7 @@
  * implemented by emv::vmm::Vmm::compactHost()).
  */
 
-#ifndef EMV_OS_COMPACTION_HH
-#define EMV_OS_COMPACTION_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -74,4 +73,3 @@ class CompactionDaemon
 
 } // namespace emv::os
 
-#endif // EMV_OS_COMPACTION_HH

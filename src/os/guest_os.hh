@@ -22,8 +22,7 @@
  * non-segment modes functionally correct.
  */
 
-#ifndef EMV_OS_GUEST_OS_HH
-#define EMV_OS_GUEST_OS_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -208,4 +207,3 @@ class GuestOs
 
 } // namespace emv::os
 
-#endif // EMV_OS_GUEST_OS_HH

@@ -12,8 +12,7 @@
  * paper found 256 MB suffices to boot Linux).
  */
 
-#ifndef EMV_OS_HOTPLUG_HH
-#define EMV_OS_HOTPLUG_HH
+#pragma once
 
 #include <optional>
 
@@ -49,4 +48,3 @@ reclaimIoGap(GuestOs &os, BalloonBackend &backend, Addr io_gap_start,
 
 } // namespace emv::os
 
-#endif // EMV_OS_HOTPLUG_HH

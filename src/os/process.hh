@@ -4,8 +4,7 @@
  * primary-region / guest-segment state of §II.B.
  */
 
-#ifndef EMV_OS_PROCESS_HH
-#define EMV_OS_PROCESS_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -72,4 +71,3 @@ class Process
 
 } // namespace emv::os
 
-#endif // EMV_OS_PROCESS_HH

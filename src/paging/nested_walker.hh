@@ -12,8 +12,7 @@
  * so the walker delegates it to a GpaTranslator supplied by the MMU.
  */
 
-#ifndef EMV_PAGING_NESTED_WALKER_HH
-#define EMV_PAGING_NESTED_WALKER_HH
+#pragma once
 
 #include "common/types.hh"
 #include "paging/walk.hh"
@@ -67,4 +66,3 @@ class NestedWalker
 
 } // namespace emv::paging
 
-#endif // EMV_PAGING_NESTED_WALKER_HH

@@ -1,5 +1,6 @@
 #include "paging/page_table.hh"
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv::paging {
@@ -79,6 +80,15 @@ PageTable::map(Addr va, Addr pa, PageSize size, bool writable,
                   Pte::makeLeaf(pa, target, writable, user_mode));
     ++leaves;
     ++updates;
+    EMV_CHECK([&] {
+                  auto readback = translate(va);
+                  return readback && readback->pa == pa &&
+                         readback->size == size;
+              }(),
+              "map: software readback of va %s disagrees with the "
+              "just-installed %s leaf at pa %s",
+              hexAddr(va).c_str(), pageSizeName(size),
+              hexAddr(pa).c_str());
 }
 
 bool

@@ -14,8 +14,7 @@
  *    is precisely what makes the 2D walk two-dimensional.
  */
 
-#ifndef EMV_PAGING_PAGE_TABLE_HH
-#define EMV_PAGING_PAGE_TABLE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -152,4 +151,3 @@ class PageTable
 
 } // namespace emv::paging
 
-#endif // EMV_PAGING_PAGE_TABLE_HH

@@ -8,8 +8,7 @@
  * page table (gPA→hPA).
  */
 
-#ifndef EMV_PAGING_PTE_HH
-#define EMV_PAGING_PTE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -100,4 +99,3 @@ struct Pte
 
 } // namespace emv::paging
 
-#endif // EMV_PAGING_PTE_HH

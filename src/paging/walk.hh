@@ -9,8 +9,7 @@
  * traces; the cost model then prices them.
  */
 
-#ifndef EMV_PAGING_WALK_HH
-#define EMV_PAGING_WALK_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -88,4 +87,3 @@ struct WalkOutcome
 
 } // namespace emv::paging
 
-#endif // EMV_PAGING_WALK_HH

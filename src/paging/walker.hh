@@ -9,8 +9,7 @@
  * lets the walk start below the root (paging-structure caching).
  */
 
-#ifndef EMV_PAGING_WALKER_HH
-#define EMV_PAGING_WALKER_HH
+#pragma once
 
 #include "common/types.hh"
 #include "paging/walk.hh"
@@ -45,4 +44,3 @@ class Walker
 
 } // namespace emv::paging
 
-#endif // EMV_PAGING_WALKER_HH

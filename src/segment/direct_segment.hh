@@ -14,8 +14,7 @@
  * disables a set — the paper's trick for nullifying modes.
  */
 
-#ifndef EMV_SEGMENT_DIRECT_SEGMENT_HH
-#define EMV_SEGMENT_DIRECT_SEGMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -82,4 +81,3 @@ class SegmentRegs
 
 } // namespace emv::segment
 
-#endif // EMV_SEGMENT_DIRECT_SEGMENT_HH

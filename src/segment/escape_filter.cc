@@ -1,8 +1,10 @@
 #include "segment/escape_filter.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -41,6 +43,16 @@ EscapeFilter::insertPage(Addr addr)
     }
     ++inserted;
     ++_stats.counter("inserts");
+    // A Bloom filter may report false positives (harmless: the page
+    // escapes to paging) but never false negatives — a miss on an
+    // inserted page would translate through the stale segment mapping.
+    EMV_CHECK(mayContain(addr),
+              "escape filter false negative for page %s",
+              hexAddr(addr).c_str());
+    EMV_INVARIANT(popcount() <= std::min<unsigned>(
+                      bits, inserted * numHashes()),
+                  "escape filter has %u bits set after %u inserts "
+                  "with %u hashes", popcount(), inserted, numHashes());
     EMV_TRACE(Filter, "insert page=%s inserted=%llu set_bits=%u",
               hexAddr(addr).c_str(),
               static_cast<unsigned long long>(inserted), popcount());

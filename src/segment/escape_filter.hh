@@ -14,8 +14,7 @@
  * near zero for up to 16 faulty pages (Fig. 13).
  */
 
-#ifndef EMV_SEGMENT_ESCAPE_FILTER_HH
-#define EMV_SEGMENT_ESCAPE_FILTER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -74,4 +73,3 @@ class EscapeFilter
 
 } // namespace emv::segment
 
-#endif // EMV_SEGMENT_ESCAPE_FILTER_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "common/trace.hh"
@@ -148,6 +149,8 @@ RunParams::parseArgs(int argc, char **argv)
             traceFilePath = arg + 10;
         else if (std::strncmp(arg, "profile=", 8) == 0)
             profile = std::atoi(arg + 8) != 0;
+        else if (std::strncmp(arg, "audit=", 6) == 0)
+            audit = std::atoi(arg + 6) != 0;
         else
             emv_warn("ignoring unknown argument '%s'", arg);
     }
@@ -172,6 +175,7 @@ RunParams::applyObservability() const
                      trace::allFlagNames().c_str());
     }
     prof::setEnabled(profile);
+    audit::setEnabled(audit);
 }
 
 MachineConfig

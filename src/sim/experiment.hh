@@ -10,8 +10,7 @@
  * and "sh2M" are shadow paging.
  */
 
-#ifndef EMV_SIM_EXPERIMENT_HH
-#define EMV_SIM_EXPERIMENT_HH
+#pragma once
 
 #include <optional>
 #include <string>
@@ -60,6 +59,7 @@ struct RunParams
     std::string traceFlags;       //!< CSV of flags, e.g. "Tlb,Walk".
     std::string traceFilePath;    //!< Trace sink file ("" = stderr).
     bool profile = false;         //!< Collect phase timings.
+    bool audit = false;           //!< Differential audit (audit.hh).
 
     /**
      * Parse "scale=0.25 ops=1000000 warmup=100000 trace=Tlb,Walk
@@ -95,4 +95,3 @@ CellResult runCell(workload::WorkloadKind kind,
 
 } // namespace emv::sim
 
-#endif // EMV_SIM_EXPERIMENT_HH

@@ -12,8 +12,7 @@
  * (§VIII): extra time relative to ideal base execution.
  */
 
-#ifndef EMV_SIM_MACHINE_HH
-#define EMV_SIM_MACHINE_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -220,4 +219,3 @@ class Machine
 
 } // namespace emv::sim
 
-#endif // EMV_SIM_MACHINE_HH

@@ -5,8 +5,7 @@
  * number-formatting helpers.
  */
 
-#ifndef EMV_SIM_REPORT_HH
-#define EMV_SIM_REPORT_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -65,4 +64,3 @@ std::string slugify(const std::string &title);
 
 } // namespace emv::sim
 
-#endif // EMV_SIM_REPORT_HH

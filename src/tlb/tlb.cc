@@ -1,5 +1,6 @@
 #include "tlb/tlb.hh"
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv::tlb {
@@ -115,6 +116,17 @@ Tlb::insert(EntryKind kind, Addr addr, Addr frame, PageSize size)
     victim->lru = ++tick;
     victim->valid = true;
     ++*insertsCtr;
+    EMV_INVARIANT([&] {
+                      unsigned copies = 0;
+                      for (unsigned w = 0; w < numWays; ++w) {
+                          const Entry &e = set[w];
+                          copies += e.valid && e.kind == kind &&
+                                    e.size == size && e.vpn == vpn;
+                      }
+                      return copies == 1;
+                  }(),
+                  "%s: duplicate entries for vpn %s after insert",
+                  name.c_str(), hexAddr(vpn).c_str());
 }
 
 void

@@ -14,8 +14,7 @@
  * behind the paper's observed 1.3–1.6x TLB-miss inflation (§IX.A).
  */
 
-#ifndef EMV_TLB_TLB_HH
-#define EMV_TLB_TLB_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -110,4 +109,3 @@ class Tlb
 
 } // namespace emv::tlb
 
-#endif // EMV_TLB_TLB_HH

@@ -7,8 +7,7 @@
  *   L2 TLB:   512-entry 4-way, shared with nested (gPA→hPA) entries
  */
 
-#ifndef EMV_TLB_TLB_HIERARCHY_HH
-#define EMV_TLB_TLB_HIERARCHY_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -78,4 +77,3 @@ class TlbHierarchy
 
 } // namespace emv::tlb
 
-#endif // EMV_TLB_TLB_HIERARCHY_HH

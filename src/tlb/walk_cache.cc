@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv::tlb {
@@ -55,6 +56,9 @@ WalkCache::lookup(std::uint64_t key)
 void
 WalkCache::insert(std::uint64_t key, Addr next_table)
 {
+    EMV_CHECK(isAligned(next_table, kPage4K),
+              "%s: cached table pointer %s not 4K aligned",
+              _stats.name().c_str(), hexAddr(next_table).c_str());
     Entry *set = &entries[setOf(key) * numWays];
     Entry *victim = &set[0];
     for (unsigned w = 0; w < numWays; ++w) {

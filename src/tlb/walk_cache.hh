@@ -15,8 +15,7 @@
  *    memory access.
  */
 
-#ifndef EMV_TLB_WALK_CACHE_HH
-#define EMV_TLB_WALK_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -114,4 +113,3 @@ class LineCache
 
 } // namespace emv::tlb
 
-#endif // EMV_TLB_WALK_CACHE_HH

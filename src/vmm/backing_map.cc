@@ -1,8 +1,34 @@
 #include "vmm/backing_map.hh"
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace emv::vmm {
+
+void
+BackingMap::auditInvariants() const
+{
+    bool first = true;
+    Addr prev_gpa_end = 0;
+    Addr prev_hpa_end = 0;
+    for (const auto &[gpa, value] : byGpa) {
+        EMV_INVARIANT(value.bytes > 0, "backing: empty extent at %s",
+                      hexAddr(gpa).c_str());
+        if (!first) {
+            EMV_INVARIANT(gpa >= prev_gpa_end,
+                          "backing: gPA %s double-backed (previous "
+                          "extent ends at %s)", hexAddr(gpa).c_str(),
+                          hexAddr(prev_gpa_end).c_str());
+            EMV_INVARIANT(gpa != prev_gpa_end ||
+                          value.hpa != prev_hpa_end,
+                          "backing: uncoalesced extents meet at %s",
+                          hexAddr(gpa).c_str());
+        }
+        prev_gpa_end = gpa + value.bytes;
+        prev_hpa_end = value.hpa + value.bytes;
+        first = false;
+    }
+}
 
 void
 BackingMap::add(Addr gpa, Addr bytes, Addr hpa)
@@ -36,10 +62,14 @@ BackingMap::add(Addr gpa, Addr bytes, Addr hpa)
         if (prev->first + prev->second.bytes == gpa &&
             prev->second.hpa + prev->second.bytes == hpa) {
             prev->second.bytes += bytes;
+            if (audit::enabled())
+                auditInvariants();
             return;
         }
     }
     byGpa.emplace(gpa, Value{bytes, hpa});
+    if (audit::enabled())
+        auditInvariants();
 }
 
 void
@@ -69,6 +99,8 @@ BackingMap::remove(Addr gpa, Addr bytes)
             break;
         }
     }
+    if (audit::enabled())
+        auditInvariants();
 }
 
 std::optional<Addr>

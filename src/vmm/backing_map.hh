@@ -10,8 +10,7 @@
  * and splicing operations here.
  */
 
-#ifndef EMV_VMM_BACKING_MAP_HH
-#define EMV_VMM_BACKING_MAP_HH
+#pragma once
 
 #include <functional>
 #include <map>
@@ -72,6 +71,15 @@ class BackingMap
     std::size_t extentCount() const { return byGpa.size(); }
     bool empty() const { return byGpa.empty(); }
 
+    /**
+     * Audit-mode structural check (EMV_INVARIANT): extents are
+     * non-empty, no gPA is double-backed (extents disjoint in gPA),
+     * and gPA-adjacent extents are not hPA-contiguous (i.e. the map
+     * stays maximally coalesced).  Called automatically by
+     * add()/remove() under auditing.
+     */
+    void auditInvariants() const;
+
   private:
     struct Value
     {
@@ -85,4 +93,3 @@ class BackingMap
 
 } // namespace emv::vmm
 
-#endif // EMV_VMM_BACKING_MAP_HH

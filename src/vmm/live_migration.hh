@@ -15,8 +15,7 @@
  * set converges, and a final stop-and-copy round.
  */
 
-#ifndef EMV_VMM_LIVE_MIGRATION_HH
-#define EMV_VMM_LIVE_MIGRATION_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_set>
@@ -94,4 +93,3 @@ class LiveMigration
 
 } // namespace emv::vmm
 
-#endif // EMV_VMM_LIVE_MIGRATION_HH

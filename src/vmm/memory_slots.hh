@@ -10,8 +10,7 @@
  * amount that hot-add may later need.
  */
 
-#ifndef EMV_VMM_MEMORY_SLOTS_HH
-#define EMV_VMM_MEMORY_SLOTS_HH
+#pragma once
 
 #include <optional>
 #include <string>
@@ -60,4 +59,3 @@ class MemorySlots
 
 } // namespace emv::vmm
 
-#endif // EMV_VMM_MEMORY_SLOTS_HH

@@ -9,8 +9,7 @@
  * sharing up inside VMM segments costs little.
  */
 
-#ifndef EMV_VMM_PAGE_SHARING_HH
-#define EMV_VMM_PAGE_SHARING_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -68,4 +67,3 @@ class PageSharing
 
 } // namespace emv::vmm
 
-#endif // EMV_VMM_PAGE_SHARING_HH

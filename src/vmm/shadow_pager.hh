@@ -11,8 +11,7 @@
  * exactly the split the paper observes.
  */
 
-#ifndef EMV_VMM_SHADOW_PAGER_HH
-#define EMV_VMM_SHADOW_PAGER_HH
+#pragma once
 
 #include <memory>
 
@@ -74,4 +73,3 @@ class ShadowPager
 
 } // namespace emv::vmm
 
-#endif // EMV_VMM_SHADOW_PAGER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -529,6 +530,18 @@ Vm::createVmmSegment(Addr min_bytes)
         ++_stats.counter("escape_remaps");
     }
     segmentRegion = Interval{extent->gpa, extent->gpa + extent->bytes};
+    for (Addr gpa : info.escapedGpas) {
+        EMV_CHECK(info.regs.contains(gpa),
+                  "vmm segment: escaped gpa %s outside segment %s",
+                  hexAddr(gpa).c_str(), info.regs.toString().c_str());
+        EMV_CHECK([&] {
+                      auto xlat = nestedPt->translate(gpa);
+                      auto hpa = backing.toHpa(gpa);
+                      return xlat && hpa && *hpa == xlat->pa;
+                  }(),
+                  "vmm segment: escaped gpa %s nested mapping "
+                  "disagrees with backing map", hexAddr(gpa).c_str());
+    }
     ++_stats.counter("vmm_segments_created");
     EMV_TRACE(Vmm, "VMM segment created: %s (%zu escapes)",
               info.regs.toString().c_str(),

@@ -13,8 +13,7 @@
  * (Table III).
  */
 
-#ifndef EMV_VMM_VMM_HH
-#define EMV_VMM_VMM_HH
+#pragma once
 
 #include <array>
 #include <functional>
@@ -281,4 +280,3 @@ class Vmm
 
 } // namespace emv::vmm
 
-#endif // EMV_VMM_VMM_HH

@@ -4,8 +4,7 @@
  * footprint scaling).  Internal to the workload library.
  */
 
-#ifndef EMV_WORKLOAD_DETAIL_HH
-#define EMV_WORKLOAD_DETAIL_HH
+#pragma once
 
 #include "common/logging.hh"
 #include "workload/workload.hh"
@@ -89,4 +88,3 @@ class BasicWorkload : public Workload
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_DETAIL_HH

@@ -1,7 +1,6 @@
 /** @file graph500 workload factory (internal; use makeWorkload()). */
 
-#ifndef EMV_WORKLOAD_GRAPH500_HH
-#define EMV_WORKLOAD_GRAPH500_HH
+#pragma once
 
 #include <memory>
 
@@ -14,4 +13,3 @@ std::unique_ptr<Workload> makeGraph500(std::uint64_t seed,
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_GRAPH500_HH

@@ -1,7 +1,6 @@
 /** @file GUPS workload factory (internal; use makeWorkload()). */
 
-#ifndef EMV_WORKLOAD_GUPS_HH
-#define EMV_WORKLOAD_GUPS_HH
+#pragma once
 
 #include <memory>
 
@@ -13,4 +12,3 @@ std::unique_ptr<Workload> makeGups(std::uint64_t seed, double scale);
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_GUPS_HH

@@ -1,7 +1,6 @@
 /** @file memcached workload factory (internal; use makeWorkload()). */
 
-#ifndef EMV_WORKLOAD_MEMCACHED_HH
-#define EMV_WORKLOAD_MEMCACHED_HH
+#pragma once
 
 #include <memory>
 
@@ -20,4 +19,3 @@ std::unique_ptr<Workload> makeMemcached(std::uint64_t seed,
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_MEMCACHED_HH

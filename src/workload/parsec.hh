@@ -1,7 +1,6 @@
 /** @file PARSEC workload factories (internal; use makeWorkload()). */
 
-#ifndef EMV_WORKLOAD_PARSEC_HH
-#define EMV_WORKLOAD_PARSEC_HH
+#pragma once
 
 #include <memory>
 
@@ -16,4 +15,3 @@ std::unique_ptr<Workload> makeStreamcluster(std::uint64_t seed,
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_PARSEC_HH

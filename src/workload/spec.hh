@@ -1,7 +1,6 @@
 /** @file SPEC workload factories (internal; use makeWorkload()). */
 
-#ifndef EMV_WORKLOAD_SPEC_HH
-#define EMV_WORKLOAD_SPEC_HH
+#pragma once
 
 #include <memory>
 
@@ -20,4 +19,3 @@ std::unique_ptr<Workload> makeOmnetpp(std::uint64_t seed, double scale,
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_SPEC_HH

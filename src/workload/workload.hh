@@ -17,8 +17,7 @@
  * winners from losers in §IX.D).
  */
 
-#ifndef EMV_WORKLOAD_WORKLOAD_HH
-#define EMV_WORKLOAD_WORKLOAD_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -127,4 +126,3 @@ std::unique_ptr<Workload> makeWorkload(WorkloadKind kind,
 
 } // namespace emv::workload
 
-#endif // EMV_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,138 @@
+/** @file
+ * Tests for the runtime audit framework (common/audit.hh): macro
+ * gating, counter accounting, fail-fast escalation, and the
+ * IntervalSet structural invariant it powers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/audit.hh"
+#include "common/intervals.hh"
+#include "common/logging.hh"
+
+namespace emv {
+namespace {
+
+class AuditTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setQuietLogging(true);  // Failure records go through warn().
+        audit::setFailFast(false);
+        audit::setEnabled(true);
+        audit::resetCounters();
+    }
+
+    void
+    TearDown() override
+    {
+        audit::setEnabled(false);
+        audit::setFailFast(false);
+        audit::resetCounters();
+    }
+};
+
+TEST_F(AuditTest, DisabledChecksCostNothingAndSkipTheCondition)
+{
+    audit::setEnabled(false);
+    ASSERT_FALSE(audit::enabled());
+    bool evaluated = false;
+    EMV_CHECK([&] { evaluated = true; return false; }(),
+              "must never fire while disabled");
+    EXPECT_FALSE(evaluated);
+    EXPECT_EQ(audit::checkCount(), 0u);
+    EXPECT_EQ(audit::failureCount(), 0u);
+}
+
+TEST_F(AuditTest, PassingCheckCountsButDoesNotFail)
+{
+    EMV_CHECK(1 + 1 == 2, "arithmetic broke");
+    EXPECT_EQ(audit::checkCount(), 1u);
+    EXPECT_EQ(audit::failureCount(), 0u);
+}
+
+TEST_F(AuditTest, FailingCheckIsCountedAndExecutionContinues)
+{
+    EMV_CHECK(false, "deliberate failure %d", 42);
+    EXPECT_EQ(audit::checkCount(), 1u);
+    EXPECT_EQ(audit::failureCount(), 1u);
+    // A failing check must not abort: we got here.
+}
+
+TEST_F(AuditTest, FailingInvariantIsCounted)
+{
+    EMV_INVARIANT(false, "structure is broken at %s",
+                  hexAddr(0x1000).c_str());
+    EXPECT_EQ(audit::failureCount(), 1u);
+}
+
+TEST_F(AuditTest, MismatchesAreCountedSeparately)
+{
+    audit::reportMismatch("fast path disagrees with reference");
+    EXPECT_EQ(audit::mismatchCount(), 1u);
+    EXPECT_EQ(audit::failureCount(), 0u);
+}
+
+TEST_F(AuditTest, ResetCountersZeroesEverything)
+{
+    EMV_CHECK(false, "fail once");
+    audit::reportMismatch("diverged");
+    audit::resetCounters();
+    EXPECT_EQ(audit::checkCount(), 0u);
+    EXPECT_EQ(audit::failureCount(), 0u);
+    EXPECT_EQ(audit::mismatchCount(), 0u);
+}
+
+TEST_F(AuditTest, StatsGroupUsesTheDottedNamingConvention)
+{
+    EXPECT_EQ(audit::stats().name(), "audit");
+    // Counter values surface through the group the registry exports.
+    EMV_CHECK(true, "counted");
+    EXPECT_EQ(audit::stats().counterValue("checks"),
+              audit::checkCount());
+}
+
+using AuditDeathTest = AuditTest;
+
+TEST_F(AuditDeathTest, FailFastEscalatesToPanic)
+{
+    audit::setFailFast(true);
+    EXPECT_TRUE(audit::failFast());
+    EXPECT_DEATH(EMV_CHECK(false, "stop the presses"),
+                 "stop the presses");
+}
+
+TEST_F(AuditDeathTest, FailFastEscalatesMismatches)
+{
+    audit::setFailFast(true);
+    EXPECT_DEATH(audit::reportMismatch("diverged"), "diverged");
+}
+
+TEST_F(AuditTest, IntervalMutationsRunTheStructuralInvariant)
+{
+    IntervalSet set;
+    const auto before = audit::checkCount();
+    set.insert(0x1000, 0x2000);
+    set.insert(0x3000, 0x4000);
+    set.insert(0x2000, 0x3000);  // Coalesces all three.
+    set.erase(0x1800, 0x2800);   // Splits into two.
+    EXPECT_GT(audit::checkCount(), before);
+    EXPECT_EQ(audit::failureCount(), 0u);
+    EXPECT_EQ(set.count(), 2u);
+}
+
+TEST_F(AuditTest, IntervalInvariantPassesOnAdjacentDisjointRanges)
+{
+    IntervalSet set;
+    set.insert(0, 0x1000);
+    set.erase(0x400, 0x800);
+    set.auditInvariants("test_set");
+    EXPECT_EQ(audit::failureCount(), 0u);
+    EXPECT_TRUE(set.contains(0x200));
+    EXPECT_FALSE(set.contains(0x400));
+}
+
+} // namespace
+} // namespace emv

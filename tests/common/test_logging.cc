@@ -1,0 +1,77 @@
+/** @file
+ * Tests for the logging layer (common/logging.hh): printf-style
+ * formatting, quiet mode, and the abort/exit semantics of
+ * panic/fatal/assert.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace emv {
+namespace {
+
+TEST(LoggingFormat, FormatsLikePrintf)
+{
+    EXPECT_EQ(detail::format("plain"), "plain");
+    EXPECT_EQ(detail::format("%s=%d", "walks", 24), "walks=24");
+    EXPECT_EQ(detail::format("%llx",
+                             static_cast<unsigned long long>(0xabcd)),
+              "abcd");
+}
+
+TEST(LoggingFormat, HandlesLongMessages)
+{
+    const std::string big(4096, 'x');
+    EXPECT_EQ(detail::format("%s", big.c_str()), big);
+}
+
+TEST(LoggingQuiet, ToggleIsObservable)
+{
+    setQuietLogging(true);
+    EXPECT_TRUE(quietLogging());
+    setQuietLogging(false);
+    EXPECT_FALSE(quietLogging());
+    setQuietLogging(true);
+}
+
+TEST(LoggingQuiet, WarnAndInformSurviveBothModes)
+{
+    setQuietLogging(true);
+    emv_warn("suppressed warning %d", 1);
+    emv_inform("suppressed info");
+    setQuietLogging(false);
+    emv_warn("visible warning %d", 2);
+    emv_inform("visible info");
+    setQuietLogging(true);
+    SUCCEED();  // Reporting must never terminate the process.
+}
+
+TEST(LoggingAssert, PassingAssertIsANoOp)
+{
+    emv_assert(2 + 2 == 4, "arithmetic broke");
+    SUCCEED();
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(emv_panic("simulator bug %d", 7), "simulator bug 7");
+}
+
+TEST(LoggingDeathTest, FailedAssertAborts)
+{
+    EXPECT_DEATH(emv_assert(false, "invariant %s broke", "foo"),
+                 "invariant foo broke");
+}
+
+TEST(LoggingDeathTest, FatalExitsCleanlyWithStatusOne)
+{
+    EXPECT_EXIT(emv_fatal("unusable configuration"),
+                ::testing::ExitedWithCode(1),
+                "unusable configuration");
+}
+
+} // namespace
+} // namespace emv

@@ -1,0 +1,96 @@
+/** @file
+ * Tests for the self-profiling layer (common/profile.hh): RAII
+ * scopes, enable gating, phase accounting, and the report format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/profile.hh"
+
+namespace emv::prof {
+namespace {
+
+class ProfileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setEnabled(false);
+        reset();
+    }
+
+    void
+    TearDown() override
+    {
+        setEnabled(false);
+        reset();
+    }
+};
+
+TEST_F(ProfileTest, DisabledScopeRecordsNothing)
+{
+    {
+        Scope timer(Phase::Translate);
+    }
+    EXPECT_EQ(phaseRecord(Phase::Translate).calls, 0u);
+    EXPECT_FALSE(enabled());
+}
+
+TEST_F(ProfileTest, EnabledScopeCountsCallsAndTime)
+{
+    setEnabled(true);
+    for (int i = 0; i < 3; ++i)
+        Scope timer(Phase::FaultService);
+    const auto rec = phaseRecord(Phase::FaultService);
+    EXPECT_EQ(rec.calls, 3u);
+    // steady_clock deltas are non-negative; ns may round to zero.
+    EXPECT_EQ(phaseRecord(Phase::Translate).calls, 0u);
+}
+
+TEST_F(ProfileTest, ResetZeroesRecords)
+{
+    setEnabled(true);
+    {
+        Scope timer(Phase::Balloon);
+    }
+    ASSERT_EQ(phaseRecord(Phase::Balloon).calls, 1u);
+    reset();
+    EXPECT_EQ(phaseRecord(Phase::Balloon).calls, 0u);
+}
+
+TEST_F(ProfileTest, EveryPhaseHasAName)
+{
+    for (unsigned p = 0;
+         p < static_cast<unsigned>(Phase::NumPhases); ++p) {
+        const char *name = phaseName(static_cast<Phase>(p));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+TEST_F(ProfileTest, ReportListsPhasesThatRan)
+{
+    setEnabled(true);
+    {
+        Scope timer(Phase::Translate);
+    }
+    std::ostringstream os;
+    report(os);
+    EXPECT_NE(os.str().find(phaseName(Phase::Translate)),
+              std::string::npos);
+    EXPECT_EQ(os.str().find(phaseName(Phase::Balloon)),
+              std::string::npos);
+}
+
+TEST_F(ProfileTest, ReportExplainsWhenNothingRan)
+{
+    std::ostringstream os;
+    report(os);
+    EXPECT_FALSE(os.str().empty());
+}
+
+} // namespace
+} // namespace emv::prof

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/audit.hh"
 #include "common/rng.hh"
 #include "segment/escape_filter.hh"
 
@@ -30,6 +31,20 @@ TEST(EscapeFilterTest, NoFalseNegatives)
         EXPECT_TRUE(filter.mayContain(page));
         EXPECT_TRUE(filter.mayContain(page + 0xabc));  // Same page.
     }
+}
+
+TEST(EscapeFilterTest, InsertRunsTheAuditChecksWhenEnabled)
+{
+    audit::setEnabled(true);
+    audit::resetCounters();
+    EscapeFilter filter;
+    Rng rng(7);
+    for (int i = 0; i < 16; ++i)
+        filter.insertPage(rng.nextBelow(1ull << 40) << 12);
+    audit::setEnabled(false);
+    // Each insert re-proves no-false-negative and the popcount bound.
+    EXPECT_EQ(audit::checkCount(), 32u);
+    EXPECT_EQ(audit::failureCount(), 0u);
 }
 
 TEST(EscapeFilterTest, PaperGeometryDefaults)

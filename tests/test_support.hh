@@ -1,7 +1,6 @@
 /** @file Shared helpers for emv unit tests. */
 
-#ifndef EMV_TESTS_TEST_SUPPORT_HH
-#define EMV_TESTS_TEST_SUPPORT_HH
+#pragma once
 
 #include "mem/phys_memory.hh"
 #include "paging/page_table.hh"
@@ -58,4 +57,3 @@ class BumpMemSpace : public paging::MemSpace
 
 } // namespace emv::test
 
-#endif // EMV_TESTS_TEST_SUPPORT_HH

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * emv_lint — project-specific static checks for the emv source tree.
+ *
+ * The general-purpose toolchain (-Wall -Wextra, sanitizers,
+ * clang-tidy) cannot express *project* conventions, so this small
+ * scanner enforces the ones that keep the simulator deterministic
+ * and its output machine-parseable:
+ *
+ *   raw-rng        no rand()/srand()/std::random_device/time(...)
+ *                  seeding outside common/rng — all randomness must
+ *                  flow through the seeded SplitMix64/Xoshiro RNG so
+ *                  runs are reproducible.
+ *   raw-output     no std::cout/std::cerr/printf in src/ outside the
+ *                  designated report/trace/logging translation
+ *                  units — simulation results must go through the
+ *                  stat registry or report layer, not ad-hoc prints.
+ *   pragma-once    every header in src/ uses #pragma once.
+ *   test-coverage  every .cc in src/ has a matching test file under
+ *                  tests/ (with a small alias table for aggregate
+ *                  suites).
+ *   stat-names     string literals passed to counter()/scalar()/
+ *                  distribution()/StatGroup() are lower_snake_case
+ *                  dotted paths, matching the exported
+ *                  "machine.mmu.*" naming convention.
+ *
+ * Usage: emv_lint <repo-root>
+ * Exits 0 when clean; prints "file:line: [rule] message" per
+ * violation and exits 1 otherwise.  Registered as a CTest so a
+ * convention regression fails the build's test stage.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation
+{
+    std::string file;
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+std::vector<Violation> violations;
+
+void
+report(const fs::path &file, int line, const std::string &rule,
+       const std::string &message)
+{
+    violations.push_back({file.string(), line, rule, message});
+}
+
+/** Strip // and /star star/ comments plus string/char literals so the
+ *  pattern rules only see real code.  Line structure is preserved. */
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    enum class State { Code, Line, Block, Str, Chr } state = State::Code;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::Line;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::Block;
+                ++i;
+            } else if (c == '"') {
+                state = State::Str;
+                out += '"';
+            } else if (c == '\'') {
+                state = State::Chr;
+                out += '\'';
+            } else {
+                out += c;
+            }
+            break;
+        case State::Line:
+            if (c == '\n') {
+                state = State::Code;
+                out += '\n';
+            }
+            break;
+        case State::Block:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else if (c == '\n') {
+                out += '\n';
+            }
+            break;
+        case State::Str:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                out += '"';
+            } else if (c == '\n') {
+                out += '\n';  // Unterminated; keep line counts sane.
+                state = State::Code;
+            }
+            break;
+        case State::Chr:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                out += '\'';
+            } else if (c == '\n') {
+                out += '\n';
+                state = State::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Relative path with '/' separators, e.g. "common/rng.cc". */
+std::string
+relName(const fs::path &file, const fs::path &root)
+{
+    std::string rel = fs::relative(file, root).generic_string();
+    return rel;
+}
+
+bool
+matchesAny(const std::string &rel,
+           const std::vector<std::string> &prefixes)
+{
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string &p) {
+                           return rel.rfind(p, 0) == 0;
+                       });
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-rng
+// ---------------------------------------------------------------------
+
+void
+checkRawRng(const fs::path &file, const std::string &rel,
+            const std::vector<std::string> &lines)
+{
+    if (rel.rfind("common/rng", 0) == 0)
+        return;  // The one blessed home of raw entropy.
+    static const std::regex forbidden(
+        R"(std::random_device|[^_[:alnum:]](s?rand)\s*\(|[^_[:alnum:]]time\s*\(\s*(NULL|nullptr|0)?\s*\))");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i], forbidden)) {
+            report(file, static_cast<int>(i + 1), "raw-rng",
+                   "unseeded randomness or wall-clock seeding; use "
+                   "common/rng (deterministic, run-seeded) instead");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-output
+// ---------------------------------------------------------------------
+
+void
+checkRawOutput(const fs::path &file, const std::string &rel,
+               const std::vector<std::string> &lines)
+{
+    // Translation units whose whole job is producing output.
+    static const std::vector<std::string> allowed = {
+        "common/logging.",   // emv_warn/emv_info/panic plumbing
+        "common/trace.",     // EMV_TRACE sink
+        "common/json.",      // serializers write to caller streams
+        "common/profile.",   // prof::report
+        "common/audit.",     // audit failure records
+        "sim/report.",       // human-readable result tables
+        "sim/experiment.",   // CLI usage/error reporting
+    };
+    if (matchesAny(rel, allowed))
+        return;
+    static const std::regex forbidden(
+        R"(std::cout|std::cerr|[^_[:alnum:]](f|v|s|sn|vsn)?printf\s*\()");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(lines[i], m, forbidden)) {
+            // Formatting into buffers is fine; writing is not.
+            const std::string tok = m.str();
+            if (tok.find("snprintf") != std::string::npos ||
+                tok.find("vsnprintf") != std::string::npos ||
+                tok.find("sprintf") != std::string::npos) {
+                continue;
+            }
+            report(file, static_cast<int>(i + 1), "raw-output",
+                   "direct console output in the simulator core; "
+                   "route through stats/report/trace layers");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: pragma-once
+// ---------------------------------------------------------------------
+
+void
+checkPragmaOnce(const fs::path &file, const std::string &stripped)
+{
+    const auto lines = splitLines(stripped);
+    for (const std::string &line : lines) {
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        if (line.compare(first, 12, "#pragma once") == 0)
+            return;
+        // First non-blank, non-comment token is not the pragma.
+        break;
+    }
+    report(file, 1, "pragma-once",
+           "header must open with #pragma once (after the file "
+           "comment), not a classic include guard");
+}
+
+// ---------------------------------------------------------------------
+// Rule: test-coverage
+// ---------------------------------------------------------------------
+
+void
+checkTestCoverage(const fs::path &root)
+{
+    // Aggregate suites that intentionally cover several sources.
+    static const std::map<std::string, std::string> aliases = {
+        {"common/stat_registry.cc", "common/test_stat_export.cc"},
+        {"common/audit.cc", "common/test_audit.cc"},
+        {"core/differential_auditor.cc",
+         "core/test_differential_audit.cc"},
+        {"os/process.cc", "os/test_guest_os.cc"},
+        {"os/hotplug.cc", "os/test_kernel_pool.cc"},
+        {"workload/workload.cc", "workload/test_workloads.cc"},
+        {"workload/gups.cc", "workload/test_workloads.cc"},
+        {"workload/graph500.cc", "workload/test_workloads.cc"},
+        {"workload/memcached.cc", "workload/test_workloads.cc"},
+        {"workload/npb_cg.cc", "workload/test_workloads.cc"},
+        {"workload/spec.cc", "workload/test_workloads.cc"},
+        {"workload/parsec.cc", "workload/test_workloads.cc"},
+    };
+    const fs::path src = root / "src";
+    const fs::path tests = root / "tests";
+    for (const auto &entry : fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".cc") {
+            continue;
+        }
+        const std::string rel = relName(entry.path(), src);
+        fs::path expected;
+        auto alias = aliases.find(rel);
+        if (alias != aliases.end()) {
+            expected = tests / alias->second;
+        } else {
+            fs::path p(rel);
+            expected = tests / p.parent_path() /
+                       ("test_" + p.filename().string());
+        }
+        if (!fs::exists(expected)) {
+            report(entry.path(), 1, "test-coverage",
+                   "no test file " + expected.string() +
+                       " for this translation unit");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: stat-names
+// ---------------------------------------------------------------------
+
+void
+checkStatNames(const fs::path &file, const std::string &text)
+{
+    // Stat identifiers become "machine.mmu.walk_cycles"-style dotted
+    // paths in the JSON export; enforce lower_snake_case components.
+    static const std::regex call(
+        R"((?:\.|->)(counter|scalar|distribution)\s*\(\s*"([^"]*)\")"
+        R"(|StatGroup\s*(?:[A-Za-z_][A-Za-z0-9_]*\s*)?[({]\s*"([^"]*)\")");
+    static const std::regex good(
+        R"([a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*)");
+    auto begin = std::sregex_iterator(text.begin(), text.end(), call);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string name =
+            (*it)[2].matched ? (*it)[2].str() : (*it)[3].str();
+        if (name.empty())
+            continue;  // Dynamic names checked at runtime.
+        if (!std::regex_match(name, good)) {
+            const auto off = static_cast<std::size_t>(it->position());
+            const int line = 1 + static_cast<int>(std::count(
+                text.begin(), text.begin() + off, '\n'));
+            report(file, line, "stat-names",
+                   "stat name \"" + name +
+                       "\" is not a lower_snake_case dotted path "
+                       "(convention: machine.mmu.*)");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <repo-root>\n", argv[0]);
+        return 2;
+    }
+    const fs::path root(argv[1]);
+    const fs::path src = root / "src";
+    if (!fs::is_directory(src)) {
+        std::fprintf(stderr, "emv_lint: %s is not a repo root\n",
+                     argv[1]);
+        return 2;
+    }
+
+    int scanned = 0;
+    for (const auto &entry : fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path &path = entry.path();
+        const std::string ext = path.extension().string();
+        if (ext != ".cc" && ext != ".hh")
+            continue;
+        ++scanned;
+        const std::string rel = relName(path, src);
+        const std::string text = readFile(path);
+        const std::string stripped = stripCommentsAndStrings(text);
+        const auto lines = splitLines(stripped);
+
+        checkRawRng(path, rel, lines);
+        checkRawOutput(path, rel, lines);
+        if (ext == ".hh")
+            checkPragmaOnce(path, stripped);
+        checkStatNames(path, text);
+    }
+    checkTestCoverage(root);
+
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    for (const auto &v : violations) {
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(),
+                     v.line, v.rule.c_str(), v.message.c_str());
+    }
+    std::fprintf(stderr, "emv_lint: %d files scanned, %zu violations\n",
+                 scanned, violations.size());
+    return violations.empty() ? 0 : 1;
+}

@@ -8,7 +8,7 @@
  *          [ops=1000000] [warmup=200000] [seed=42] [badframes=0]
  *          [fragguest=0] [fraghost=0] [stats=1]
  *          [statsjson=stats.json] [trace=Tlb,Walk]
- *          [tracefile=trace.log] [profile=1]
+ *          [tracefile=trace.log] [profile=1] [audit=1]
  *
  * `config` accepts the paper's labels: 4K 2M 1G THP, A+B combos,
  * DS DD 4K+VD 4K+GD 2M+VD THP+VD sh4K sh2M ...
@@ -22,6 +22,11 @@
  *                    Hotplug, or All).
  *   tracefile=PATH   send trace records to PATH instead of stderr.
  *   profile=1        print a phase-timing summary (RAII timers).
+ *   audit=1          enable runtime invariants plus the differential
+ *                    auditor: every MMU translation is re-derived
+ *                    through the reference 2D nested walk and
+ *                    compared.  Results appear as machine.audit.*
+ *                    stats; any mismatch makes emvsim exit 1.
  */
 
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "sim/experiment.hh"
@@ -117,6 +123,8 @@ main(int argc, char **argv)
         params.traceFilePath = v;
     if (const char *v = argValue(argc, argv, "profile"))
         params.profile = std::atoi(v) != 0;
+    if (const char *v = argValue(argc, argv, "audit"))
+        params.audit = std::atoi(v) != 0;
     params.applyObservability();
 
     auto wl = workload::makeWorkload(*kind, params.seed,
@@ -192,6 +200,18 @@ main(int argc, char **argv)
     if (params.profile) {
         std::printf("\n");
         prof::report(std::cout);
+    }
+    if (params.audit) {
+        std::printf("\naudit checks:     %llu\n"
+                    "audit mismatches: %llu\n",
+                    static_cast<unsigned long long>(
+                        audit::checkCount()),
+                    static_cast<unsigned long long>(
+                        audit::mismatchCount()));
+        if (audit::mismatchCount() != 0 ||
+            audit::failureCount() != 0) {
+            return 1;
+        }
     }
     return 0;
 }

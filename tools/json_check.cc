@@ -4,22 +4,39 @@
  *
  * Usage:
  *   json_check <stats.json> [trace.log]
+ *   json_check <bench.json>
+ *   json_check <directory>
  *
- * Exits 0 when <stats.json> parses as strict JSON, carries the
- * emv-stats-v1 schema tag, and contains at least one group with at
- * least one counter.  When a trace file is given it must exist and
- * be non-empty.  Used by the CTest smoke test to pin down the
- * emvsim statsjson=/tracefile= contract.
+ * A .json argument must parse as strict JSON and carry one of the
+ * known schema tags, which selects the structural checks:
+ *
+ *   emv-stats-v1 — at least one named stat group with at least one
+ *                  counter (the emvsim statsjson= contract);
+ *   emv-bench-v1 — a non-empty title and a non-empty "cells" array
+ *                  whose entries each name a workload, a config, and
+ *                  a finite numeric overhead (the BENCH_*.json
+ *                  contract from bench/bench_util.hh).
+ *
+ * A directory argument scans for BENCH_*.json files and validates
+ * every one (failing when none are found), so CI can gate on the
+ * whole bench-output crop with a single invocation.  An optional
+ * trailing trace-log argument must exist and be non-empty.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/json.hh"
 
 namespace {
+
+namespace fs = std::filesystem;
 
 bool
 readFile(const std::string &path, std::string &out)
@@ -33,65 +50,165 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+bool
+isString(const emv::json::Value *v)
 {
-    if (argc < 2 || argc > 3) {
-        std::fprintf(stderr,
-                     "usage: json_check <stats.json> [trace.log]\n");
-        return 2;
-    }
+    return v && v->kind == emv::json::Value::Kind::String;
+}
 
-    std::string text;
-    if (!readFile(argv[1], text)) {
-        std::fprintf(stderr, "json_check: cannot read '%s'\n",
-                     argv[1]);
-        return 1;
-    }
-
-    emv::json::Value root;
-    if (!emv::json::parse(text, root)) {
-        std::fprintf(stderr, "json_check: '%s' is not well-formed "
-                     "JSON\n", argv[1]);
-        return 1;
-    }
-    if (!root.isObject()) {
-        std::fprintf(stderr, "json_check: top level is not an "
-                     "object\n");
-        return 1;
-    }
-    const emv::json::Value *schema = root.find("schema");
-    if (!schema || schema->kind != emv::json::Value::Kind::String ||
-        schema->string != "emv-stats-v1") {
-        std::fprintf(stderr, "json_check: missing or wrong schema "
-                     "tag (want \"emv-stats-v1\")\n");
-        return 1;
-    }
+/** emv-stats-v1: named groups, at least one counter overall. */
+int
+checkStats(const std::string &path, const emv::json::Value &root)
+{
     const emv::json::Value *groups = root.find("groups");
     if (!groups || !groups->isArray() || groups->array.empty()) {
-        std::fprintf(stderr, "json_check: no stat groups\n");
+        std::fprintf(stderr, "json_check: %s: no stat groups\n",
+                     path.c_str());
         return 1;
     }
     std::size_t counters = 0;
     for (const auto &group : groups->array) {
         const emv::json::Value *name = group.find("name");
-        if (!name ||
-            name->kind != emv::json::Value::Kind::String ||
-            name->string.empty()) {
-            std::fprintf(stderr, "json_check: group without a "
-                         "name\n");
+        if (!isString(name) || name->string.empty()) {
+            std::fprintf(stderr, "json_check: %s: group without a "
+                         "name\n", path.c_str());
             return 1;
         }
         if (const emv::json::Value *c = group.find("counters"))
             counters += c->object.size();
     }
     if (counters == 0) {
-        std::fprintf(stderr, "json_check: no counters in any "
-                     "group\n");
+        std::fprintf(stderr, "json_check: %s: no counters in any "
+                     "group\n", path.c_str());
         return 1;
     }
+    std::printf("json_check: %s ok (%zu groups, %zu counters)\n",
+                path.c_str(), groups->array.size(), counters);
+    return 0;
+}
+
+/** emv-bench-v1: titled, non-empty cells with workload/config/overhead. */
+int
+checkBench(const std::string &path, const emv::json::Value &root)
+{
+    const emv::json::Value *title = root.find("title");
+    if (!isString(title) || title->string.empty()) {
+        std::fprintf(stderr, "json_check: %s: missing title\n",
+                     path.c_str());
+        return 1;
+    }
+    const emv::json::Value *cells = root.find("cells");
+    if (!cells || !cells->isArray() || cells->array.empty()) {
+        std::fprintf(stderr, "json_check: %s: no bench cells\n",
+                     path.c_str());
+        return 1;
+    }
+    for (std::size_t i = 0; i < cells->array.size(); ++i) {
+        const emv::json::Value &cell = cells->array[i];
+        if (!isString(cell.find("workload")) ||
+            !isString(cell.find("config"))) {
+            std::fprintf(stderr, "json_check: %s: cell %zu lacks "
+                         "workload/config\n", path.c_str(), i);
+            return 1;
+        }
+        const emv::json::Value *overhead = cell.find("overhead");
+        if (!overhead || !overhead->isNumber() ||
+            !std::isfinite(overhead->number)) {
+            std::fprintf(stderr, "json_check: %s: cell %zu lacks a "
+                         "finite overhead\n", path.c_str(), i);
+            return 1;
+        }
+    }
+    std::printf("json_check: %s ok (%zu cells)\n", path.c_str(),
+                cells->array.size());
+    return 0;
+}
+
+int
+checkJsonFile(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "json_check: cannot read '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+
+    emv::json::Value root;
+    if (!emv::json::parse(text, root)) {
+        std::fprintf(stderr, "json_check: '%s' is not well-formed "
+                     "JSON\n", path.c_str());
+        return 1;
+    }
+    if (!root.isObject()) {
+        std::fprintf(stderr, "json_check: %s: top level is not an "
+                     "object\n", path.c_str());
+        return 1;
+    }
+    const emv::json::Value *schema = root.find("schema");
+    if (!isString(schema)) {
+        std::fprintf(stderr, "json_check: %s: missing schema tag\n",
+                     path.c_str());
+        return 1;
+    }
+    if (schema->string == "emv-stats-v1")
+        return checkStats(path, root);
+    if (schema->string == "emv-bench-v1")
+        return checkBench(path, root);
+    std::fprintf(stderr, "json_check: %s: unknown schema \"%s\"\n",
+                 path.c_str(), schema->string.c_str());
+    return 1;
+}
+
+/** Validate every BENCH_*.json under @p dir; fail when none exist. */
+int
+checkBenchDir(const std::string &dir)
+{
+    std::vector<std::string> found;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() &&
+            name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json") {
+            found.push_back(entry.path().string());
+        }
+    }
+    if (ec) {
+        std::fprintf(stderr, "json_check: cannot scan '%s': %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return 1;
+    }
+    if (found.empty()) {
+        std::fprintf(stderr, "json_check: no BENCH_*.json under "
+                     "'%s'\n", dir.c_str());
+        return 1;
+    }
+    std::sort(found.begin(), found.end());
+    int rc = 0;
+    for (const auto &path : found)
+        rc |= checkJsonFile(path);
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr, "usage: json_check <stats.json|"
+                     "bench.json|dir> [trace.log]\n");
+        return 2;
+    }
+
+    int rc;
+    if (fs::is_directory(argv[1]))
+        rc = checkBenchDir(argv[1]);
+    else
+        rc = checkJsonFile(argv[1]);
+    if (rc != 0)
+        return rc;
 
     if (argc == 3) {
         std::string trace_text;
@@ -101,8 +218,5 @@ main(int argc, char **argv)
             return 1;
         }
     }
-
-    std::printf("json_check: ok (%zu groups, %zu counters)\n",
-                groups->array.size(), counters);
     return 0;
 }
