@@ -40,7 +40,7 @@ namespace {
 constexpr const char *kFlagNames[] = {
     "Tlb",    "Walk",       "Segment", "Filter",
     "Balloon", "Compaction", "Vmm",     "Hotplug",
-    "Audit",
+    "Audit",  "Fault",
 };
 static_assert(std::size(kFlagNames) ==
               static_cast<unsigned>(Flag::NumFlags));

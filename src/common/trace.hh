@@ -39,6 +39,8 @@ enum class Flag : unsigned {
     Hotplug,     //!< Memory hot-add/remove, I/O-gap reclaim.
     Audit,       //!< EMV_CHECK/EMV_INVARIANT and differential-audit
                  //!< failure records (see common/audit.hh).
+    Fault,       //!< Fault injection and recovery: DRAM faults,
+                 //!< retries, downgrades (see fault/fault_plan.hh).
     NumFlags,
 };
 

@@ -155,6 +155,28 @@ Mmu::setVmmSegment(const segment::SegmentRegs &regs)
 }
 
 void
+Mmu::retireGuestSegment()
+{
+    EMV_TRACE(Segment, "guest segment retired: %s",
+              guestSeg.toString().c_str());
+    guestSeg.clear();
+    _guestFilter->clear();
+    ++_stats.counter("segment_retirements");
+    flushAll();
+}
+
+void
+Mmu::retireVmmSegment()
+{
+    EMV_TRACE(Segment, "VMM segment retired: %s",
+              vmmSeg.toString().c_str());
+    vmmSeg.clear();
+    _vmmFilter->clear();
+    ++_stats.counter("segment_retirements");
+    flushAll();
+}
+
+void
 Mmu::flushGuestContext()
 {
     tlbHier.flushGuest();

@@ -134,6 +134,14 @@ class Mmu
     segment::EscapeFilter &vmmFilter() { return *_vmmFilter; }
     /** Escape filter over the guest segment (Direct Segment mode). */
     segment::EscapeFilter &guestFilter() { return *_guestFilter; }
+
+    /** @{ Graceful degradation (Table III downgrades).
+     * Retire a segment: null its registers (BASE = LIMIT), clear
+     * its escape filter, and flush cached translations so every
+     * covered address re-walks through the page tables. */
+    void retireGuestSegment();
+    void retireVmmSegment();
+    /** @} */
     /** @} */
 
     /**

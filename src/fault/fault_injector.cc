@@ -1,0 +1,77 @@
+#include "fault/fault_injector.hh"
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace emv::fault {
+
+namespace {
+
+constexpr const char *kPointNames[] = {
+    "balloon", "hotplug", "compaction",
+};
+static_assert(std::size(kPointNames) ==
+              static_cast<unsigned>(FaultPoint::NumPoints));
+
+} // namespace
+
+const char *
+faultPointName(FaultPoint point)
+{
+    const auto index = static_cast<unsigned>(point);
+    emv_assert(index < std::size(kPointNames),
+               "unknown fault point %u", index);
+    return kPointNames[index];
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, std::uint64_t seed)
+    : events(plan.events()), _rng(seed)
+{
+    _stats.counter("scheduled_events") += events.size();
+}
+
+std::vector<FaultEvent>
+FaultInjector::eventsDue(std::uint64_t op)
+{
+    std::vector<FaultEvent> due;
+    while (pending(op)) {
+        due.push_back(events[cursor]);
+        ++cursor;
+        ++_stats.counter("delivered_events");
+        EMV_TRACE(Fault, "deliver %s x%u (scheduled op %llu, at %llu)",
+                  faultKindName(due.back().kind), due.back().count,
+                  static_cast<unsigned long long>(due.back().op),
+                  static_cast<unsigned long long>(op));
+    }
+    return due;
+}
+
+void
+FaultInjector::armFailures(FaultPoint point, unsigned count)
+{
+    armed[static_cast<std::size_t>(point)] += count;
+    _stats.counter("armed_failures") += count;
+    EMV_TRACE(Fault, "armed %u %s request failure(s)", count,
+              faultPointName(point));
+}
+
+bool
+FaultInjector::shouldFail(FaultPoint point)
+{
+    unsigned &remaining = armed[static_cast<std::size_t>(point)];
+    if (remaining == 0)
+        return false;
+    --remaining;
+    ++_stats.counter("injected_request_failures");
+    EMV_TRACE(Fault, "%s request failure injected (%u left)",
+              faultPointName(point), remaining);
+    return true;
+}
+
+unsigned
+FaultInjector::armedFailures(FaultPoint point) const
+{
+    return armed[static_cast<std::size_t>(point)];
+}
+
+} // namespace emv::fault

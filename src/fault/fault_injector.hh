@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Runtime half of fault injection: delivers a FaultPlan's events at
+ * their scheduled trace ops, arms request-level failures that the
+ * OS/VMM components consult through hooks, and owns the
+ * "machine.fault.*" stat group (injections, retries, recoveries,
+ * downgrades, terminal faults).
+ *
+ * The injector is policy-free: it decides *when* something fails,
+ * never how the system reacts — recovery (frame offlining, mode
+ * downgrades, retry-with-backoff) lives in sim/machine.cc so the
+ * same schedule can be replayed under policy=failfast or
+ * policy=degrade.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "fault/fault_plan.hh"
+
+namespace emv::fault {
+
+/** Cross-layer request sites that can be made to fail. */
+enum class FaultPoint : unsigned {
+    BalloonReclaim,  //!< BalloonDriver::inflate / selfBalloon.
+    HotplugExtend,   //!< Vm::grantExtension.
+    Compaction,      //!< Guest/host compaction requests.
+    NumPoints,
+};
+
+const char *faultPointName(FaultPoint point);
+
+/** Drives one machine's fault schedule. */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, std::uint64_t seed);
+
+    /** True when an event is scheduled at or before @p op. */
+    bool pending(std::uint64_t op) const
+    {
+        return cursor < events.size() && events[cursor].op <= op;
+    }
+
+    /** Pop and return every event due at or before @p op. */
+    std::vector<FaultEvent> eventsDue(std::uint64_t op);
+
+    /** All scheduled events delivered. */
+    bool exhausted() const { return cursor >= events.size(); }
+
+    /** @{ Armed request failures, consumed through shouldFail().
+     * Components wire `[&] { return inj.shouldFail(point); }` into
+     * their request entry points; each armed failure makes exactly
+     * one request fail. */
+    void armFailures(FaultPoint point, unsigned count);
+    bool shouldFail(FaultPoint point);
+    unsigned armedFailures(FaultPoint point) const;
+    /** @} */
+
+    /** Victim selection and noise generation (seeded, so a plan
+     *  replays identically). */
+    Rng &rng() { return _rng; }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    std::vector<FaultEvent> events;
+    std::size_t cursor = 0;
+    std::array<unsigned,
+               static_cast<std::size_t>(FaultPoint::NumPoints)>
+        armed{};
+    Rng _rng;
+    StatGroup _stats{"fault"};
+};
+
+} // namespace emv::fault

@@ -1,0 +1,173 @@
+#include "fault/fault_plan.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace emv::fault {
+
+namespace {
+
+constexpr const char *kKindNames[] = {
+    "dram",        "guestpte",    "nestedpte", "filtersat",
+    "balloonfail", "hotplugfail", "compactfail", "slotrevoke",
+};
+static_assert(std::size(kKindNames) ==
+              static_cast<unsigned>(FaultKind::NumKinds));
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    const auto index = static_cast<unsigned>(kind);
+    emv_assert(index < std::size(kKindNames),
+               "unknown fault kind %u", index);
+    return kKindNames[index];
+}
+
+std::optional<FaultKind>
+faultKindByName(const std::string &name)
+{
+    for (unsigned i = 0; i < std::size(kKindNames); ++i) {
+        if (name == kKindNames[i])
+            return static_cast<FaultKind>(i);
+    }
+    return std::nullopt;
+}
+
+std::ostream &
+operator<<(std::ostream &os, FaultKind kind)
+{
+    return os << faultKindName(kind);
+}
+
+const char *
+faultPolicyName(FaultPolicy policy)
+{
+    return policy == FaultPolicy::FailFast ? "failfast" : "degrade";
+}
+
+std::optional<FaultPolicy>
+faultPolicyByName(const std::string &name)
+{
+    if (name == "failfast")
+        return FaultPolicy::FailFast;
+    if (name == "degrade")
+        return FaultPolicy::Degrade;
+    return std::nullopt;
+}
+
+void
+FaultPlan::schedule(FaultEvent event)
+{
+    emv_assert(event.count > 0, "fault event needs a count");
+    auto pos = std::upper_bound(
+        _events.begin(), _events.end(), event,
+        [](const FaultEvent &a, const FaultEvent &b) {
+            return a.op < b.op;
+        });
+    _events.insert(pos, event);
+}
+
+std::optional<FaultPlan>
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string field = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (field.empty())
+            return std::nullopt;
+
+        const std::size_t at = field.find('@');
+        if (at == std::string::npos || at + 1 >= field.size())
+            return std::nullopt;
+        auto kind = faultKindByName(field.substr(0, at));
+        if (!kind)
+            return std::nullopt;
+
+        std::string rest = field.substr(at + 1);
+        unsigned count = 1;
+        const std::size_t x = rest.find('x');
+        if (x != std::string::npos) {
+            if (x == 0 || x + 1 >= rest.size())
+                return std::nullopt;
+            const std::string count_str = rest.substr(x + 1);
+            rest = rest.substr(0, x);
+            char *end = nullptr;
+            const unsigned long parsed =
+                std::strtoul(count_str.c_str(), &end, 10);
+            if (*end != '\0' || parsed == 0)
+                return std::nullopt;
+            count = static_cast<unsigned>(parsed);
+        }
+        char *end = nullptr;
+        const std::uint64_t op = std::strtoull(rest.c_str(), &end, 10);
+        if (end == rest.c_str() || *end != '\0')
+            return std::nullopt;
+        plan.schedule({op, *kind, count});
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, std::uint64_t ops)
+{
+    emv_assert(ops >= 100, "soak plans need a non-trivial run");
+    FaultPlan plan;
+    Rng rng(seed);
+    const std::uint64_t lo = ops / 10;
+    auto at = [&] { return lo + rng.nextBelow(ops - lo); };
+
+    // A handful of hard faults, spread out (Fig. 13's scenario).
+    const unsigned dram_events = 2 + static_cast<unsigned>(
+        rng.nextBelow(3));
+    for (unsigned i = 0; i < dram_events; ++i) {
+        plan.schedule({at(), FaultKind::DramFault,
+                       1 + static_cast<unsigned>(rng.nextBelow(3))});
+    }
+    // PTE corruptions in both dimensions.
+    plan.schedule({at(), FaultKind::GuestPteCorrupt,
+                   1 + static_cast<unsigned>(rng.nextBelow(2))});
+    plan.schedule({at(), FaultKind::NestedPteCorrupt,
+                   1 + static_cast<unsigned>(rng.nextBelow(2))});
+    // Request-level failures: retried (and survived) by the machine.
+    plan.schedule({at(), FaultKind::BalloonFail, 1});
+    plan.schedule({at(), FaultKind::HotplugFail, 1});
+    plan.schedule({at(), FaultKind::CompactionFail, 1});
+    // VMM pressure: revoke a couple of resident pages.
+    plan.schedule({at(), FaultKind::SlotRevoke,
+                   1 + static_cast<unsigned>(rng.nextBelow(3))});
+    // Occasionally wear the filter out to exercise the downgrade
+    // lattice end to end.
+    if (rng.nextBelow(4) == 0)
+        plan.schedule({at(), FaultKind::FilterSaturate, 1});
+    return plan;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string out;
+    for (const auto &event : _events) {
+        if (!out.empty())
+            out += ',';
+        out += faultKindName(event.kind);
+        out += '@';
+        out += std::to_string(event.op);
+        if (event.count != 1) {
+            out += 'x';
+            out += std::to_string(event.count);
+        }
+    }
+    return out;
+}
+
+} // namespace emv::fault

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic fault schedules (the paper's adversity, on demand).
+ *
+ * The evaluation's robustness story rests on faults arriving while
+ * the system runs: hard DRAM faults escape a direct segment through
+ * the Bloom filter (Fig. 13), fragmented or overcommitted systems
+ * step down the mode lattice (Table III), and balloon/hotplug/
+ * compaction requests can fail and must be retried.  A FaultPlan is
+ * a seeded, sorted schedule of such events at trace-op granularity;
+ * the FaultInjector (fault_injector.hh) delivers them and the
+ * machine layer (sim/machine.cc) owns the recovery paths.
+ *
+ * Plans parse from compact specs — "dram@5000x8,filtersat@9000"
+ * schedules eight DRAM hard faults before op 5000 and an
+ * escape-filter saturation before op 9000 — and can be generated
+ * pseudo-randomly for soak testing (tools/emv_soak.cc).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace emv::fault {
+
+/** What goes wrong. */
+enum class FaultKind {
+    DramFault,        //!< Mid-run hard fault in a backed frame (§V).
+    GuestPteCorrupt,  //!< A guest leaf PTE is lost (parity error).
+    NestedPteCorrupt, //!< A nested leaf PTE is lost; backing stays.
+    FilterSaturate,   //!< Escape filter floods to its popcount bound.
+    BalloonFail,      //!< Balloon reclaim requests fail N times.
+    HotplugFail,      //!< Hot-add (extension) requests fail N times.
+    CompactionFail,   //!< Compaction requests fail N times.
+    SlotRevoke,       //!< VMM revokes backing of a resident page.
+    NumKinds,
+};
+
+/** Spec-string name ("dram", "filtersat", ...). */
+const char *faultKindName(FaultKind kind);
+std::optional<FaultKind> faultKindByName(const std::string &name);
+std::ostream &operator<<(std::ostream &os, FaultKind kind);
+
+/** @p count instances of @p kind arriving before trace op @p op. */
+struct FaultEvent
+{
+    std::uint64_t op = 0;
+    FaultKind kind = FaultKind::DramFault;
+    unsigned count = 1;
+
+    bool operator==(const FaultEvent &) const = default;
+};
+
+/** What the machine does when a hardware fault is injected. */
+enum class FaultPolicy {
+    FailFast,  //!< First hardware fault ends the run (structured).
+    Degrade,   //!< Recover: offline frames, retry, downgrade modes.
+};
+
+const char *faultPolicyName(FaultPolicy policy);
+std::optional<FaultPolicy> faultPolicyByName(const std::string &name);
+
+/** Recovery-path tuning (all deterministic). */
+struct RecoveryConfig
+{
+    /** Retry budget for failed balloon/hotplug/compaction requests
+     *  before falling back (or giving up). */
+    unsigned maxRetries = 3;
+    /** Cycles charged for the first retry; doubles per attempt. */
+    Cycles backoffBaseCycles = 20000;
+    /** Cycles charged per recovered hardware fault (machine-check
+     *  service + 4K frame copy + nested remap; ~2.5us at 2 GHz, the
+     *  soft-offline path's memory-movement cost). */
+    Cycles recoveryCycles = 5000;
+    /** Escape-filter fill ratio (popcount / bits) at which the
+     *  filter stops discriminating and the mode downgrades one step
+     *  along the Table III lattice. */
+    double filterSaturationFill = 0.5;
+};
+
+/** A sorted, reproducible schedule of fault events. */
+class FaultPlan
+{
+  public:
+    /** Insert one event, keeping the schedule sorted by op. */
+    void schedule(FaultEvent event);
+
+    /**
+     * Parse "kind@op[xCOUNT],kind@op,..." (e.g.
+     * "dram@5000x8,balloonfail@7000,filtersat@9000").  The empty
+     * string parses to an empty plan.
+     * @return nullopt on an unknown kind or malformed field.
+     */
+    static std::optional<FaultPlan> parse(const std::string &spec);
+
+    /**
+     * Seeded mixed schedule for soak runs: DRAM faults, PTE
+     * corruptions, request failures and slot revocations spread over
+     * [ops/10, ops), with an occasional filter saturation.
+     * Identical (seed, ops) always yields the identical plan.
+     */
+    static FaultPlan random(std::uint64_t seed, std::uint64_t ops);
+
+    /** Canonical spec string (parse(toString()) round-trips). */
+    std::string toString() const;
+
+    const std::vector<FaultEvent> &events() const { return _events; }
+    bool empty() const { return _events.empty(); }
+
+  private:
+    std::vector<FaultEvent> _events;
+};
+
+} // namespace emv::fault

@@ -18,6 +18,10 @@ BalloonDriver::inflate(Addr bytes)
     prof::Scope balloon_scope(prof::Phase::Balloon);
     emv_assert(isAligned(bytes, kPage4K),
                "balloon size must be 4K aligned");
+    if (requestFaultHook && requestFaultHook()) {
+        EMV_TRACE(Balloon, "inflate request failed (injected)");
+        return 0;
+    }
     std::vector<Addr> batch;
     Addr got = 0;
     while (got < bytes) {

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -75,11 +76,18 @@ class BalloonDriver
     /** Pages currently held by the balloon. */
     const std::vector<Addr> &pinnedPages() const { return pinned; }
 
+    /** Inject transient request failures: while the hook returns
+     *  true, inflate() (and hence selfBalloon()) fails without
+     *  touching guest memory — the caller retries with backoff. */
+    void setRequestFaultHook(std::function<bool()> hook)
+    { requestFaultHook = std::move(hook); }
+
   private:
     GuestOs &os;
     BalloonBackend &backend;
     std::vector<Addr> pinned;
     Addr _inflatedBytes = 0;
+    std::function<bool()> requestFaultHook;
 };
 
 } // namespace emv::os

@@ -65,6 +65,10 @@ CompactionDaemon::createFreeRun(Addr bytes, std::uint64_t
     prof::Scope compaction_scope(prof::Phase::Compaction);
     emv_assert(bytes > 0 && isAligned(bytes, kPage4K),
                "compaction target must be a positive 4K multiple");
+    if (faultHook && faultHook()) {
+        EMV_TRACE(Compaction, "createFreeRun failed (injected)");
+        return std::nullopt;
+    }
 
     // Already available?
     if (auto run = os.buddy().freeIntervals().largest();

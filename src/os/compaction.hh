@@ -56,6 +56,11 @@ class CompactionDaemon
     /** Pages migrated over this daemon's lifetime. */
     std::uint64_t migratedPages() const { return migrated; }
 
+    /** Inject transient failures: while the hook returns true,
+     *  createFreeRun() fails without migrating anything. */
+    void setFaultHook(std::function<bool()> hook)
+    { faultHook = std::move(hook); }
+
   private:
     /** One candidate window and its cost. */
     struct Window
@@ -68,6 +73,7 @@ class CompactionDaemon
 
     GuestOs &os;
     RemapHook onRemap;
+    std::function<bool()> faultHook;
     std::uint64_t migrated = 0;
 };
 

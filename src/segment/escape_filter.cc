@@ -93,6 +93,13 @@ EscapeFilter::popcount() const
 }
 
 double
+EscapeFilter::fillRatio() const
+{
+    return static_cast<double>(popcount()) /
+           static_cast<double>(bits);
+}
+
+double
 EscapeFilter::expectedFalsePositiveRate() const
 {
     const double k = static_cast<double>(hashes.size());

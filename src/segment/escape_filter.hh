@@ -49,6 +49,18 @@ class EscapeFilter
     /** Bits set (for occupancy diagnostics). */
     unsigned popcount() const;
 
+    /** Fraction of filter bits set, popcount() / sizeBits(). */
+    double fillRatio() const;
+
+    /**
+     * True once fillRatio() reaches @p max_fill: the popcount bound
+     * past which lookups degenerate into false positives and the
+     * filter no longer discriminates — the trigger for retiring the
+     * segment it guards (Table III downgrade).
+     */
+    bool saturated(double max_fill) const
+    { return fillRatio() >= max_fill; }
+
     /** Number of pages inserted since the last clear(). */
     unsigned insertedPages() const { return inserted; }
 

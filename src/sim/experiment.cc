@@ -151,6 +151,12 @@ RunParams::parseArgs(int argc, char **argv)
             profile = std::atoi(arg + 8) != 0;
         else if (std::strncmp(arg, "audit=", 6) == 0)
             audit = std::atoi(arg + 6) != 0;
+        else if (std::strncmp(arg, "faults=", 7) == 0)
+            faultSpec = arg + 7;
+        else if (std::strncmp(arg, "policy=", 7) == 0)
+            faultPolicy = arg + 7;
+        else if (std::strncmp(arg, "faultseed=", 10) == 0)
+            faultSeed = std::strtoull(arg + 10, nullptr, 10);
         else
             emv_warn("ignoring unknown argument '%s'", arg);
     }
@@ -190,6 +196,17 @@ makeMachineConfig(const ConfigSpec &spec, const RunParams &params)
     cfg.seed = params.seed;
     cfg.badFrames = params.badFrames;
     cfg.badFrameSeed = params.badFrameSeed;
+    if (!params.faultSpec.empty()) {
+        auto plan = fault::FaultPlan::parse(params.faultSpec);
+        emv_assert(plan.has_value(), "bad fault spec '%s'",
+                   params.faultSpec.c_str());
+        cfg.faultPlan = *plan;
+    }
+    auto policy = fault::faultPolicyByName(params.faultPolicy);
+    emv_assert(policy.has_value(), "bad fault policy '%s'",
+               params.faultPolicy.c_str());
+    cfg.faultPolicy = *policy;
+    cfg.faultSeed = params.faultSeed;
     return cfg;
 }
 

@@ -54,6 +54,11 @@ struct RunParams
     unsigned badFrames = 0;       //!< Hard faults (Fig. 13).
     std::uint64_t badFrameSeed = 99;
 
+    // Fault injection (see fault/fault_plan.hh).
+    std::string faultSpec;        //!< Plan, e.g. "dram@5000x8".
+    std::string faultPolicy = "degrade";  //!< Or "failfast".
+    std::uint64_t faultSeed = 7;  //!< Victim-selection seed.
+
     // Observability (see common/trace.hh, common/profile.hh).
     std::string statsJsonPath;    //!< Dump registry JSON here.
     std::string traceFlags;       //!< CSV of flags, e.g. "Tlb,Walk".

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/profile.hh"
+#include "common/trace.hh"
 #include "os/hotplug.hh"
 
 namespace emv::sim {
@@ -363,6 +364,11 @@ Machine::wireMmu()
     vmExitBase = _vm ? _vm->vmExits() : 0;
     shadowExitBase = shadow ? shadow->syncExits() : 0;
 
+    // Fault injection: always built so the hot loop's pending()
+    // check is one branch; an empty plan never fires.
+    injector = std::make_unique<fault::FaultInjector>(cfg.faultPlan,
+                                                      cfg.faultSeed);
+
     // Export every component under a common "machine" root so stat
     // dumps read "machine.mmu.l1_misses", "machine.os.major_faults".
     _mmu->stats().setParent("machine");
@@ -377,6 +383,7 @@ Machine::wireMmu()
         _vm->stats().setParent("machine");
     if (shadow)
         shadow->stats().setParent("machine");
+    injector->stats().setParent("machine");
 }
 
 bool
@@ -385,15 +392,19 @@ Machine::serviceFault(const core::TranslationResult &result)
     prof::Scope fault_scope(prof::Phase::FaultService);
     if (result.faultSpace == FaultSpace::Nested) {
         emv_assert(_vm, "nested fault without a VM");
-        if (!_vm->ensureBacked(result.faultAddr))
-            emv_fatal("unbackable nested fault at %s",
-                      hexAddr(result.faultAddr).c_str());
+        if (!_vm->ensureBacked(result.faultAddr)) {
+            return recordTerminalFault("unbackable nested fault",
+                                       FaultSpace::Nested,
+                                       result.faultAddr);
+        }
         return true;
     }
     auto outcome = _os->handleFault(*proc, result.faultAddr);
-    if (!outcome.ok)
-        emv_fatal("guest segfault at %s",
-                  hexAddr(result.faultAddr).c_str());
+    if (!outcome.ok) {
+        return recordTerminalFault("guest segfault",
+                                   FaultSpace::Guest,
+                                   result.faultAddr);
+    }
     ++guestFaultCount;
     faultCyclesPool +=
         static_cast<double>(cfg.mmu.costs.guestFaultCycles);
@@ -417,6 +428,12 @@ Machine::resetStats()
 RunResult
 Machine::run(std::uint64_t ops)
 {
+    if (_terminalFault) {
+        // A previous interval aborted; there is nothing to replay.
+        RunResult out;
+        out.completed = false;
+        return out;
+    }
     const auto &stats = _mmu->stats();
     struct Snapshot
     {
@@ -451,7 +468,13 @@ Machine::run(std::uint64_t ops)
     const double base_per_access = wl.info().baseCyclesPerAccess;
 
     for (std::uint64_t i = 0; i < ops; ++i) {
+        // Deliver scheduled faults before the op they precede.
+        if (injector->pending(opCursor))
+            applyScheduledFaults();
+        if (_terminalFault)
+            break;
         const auto op = wl.next();
+        ++opCursor;
         if (op.kind == workload::Op::Kind::Remap) {
             ++remapCount;
             _os->unmapRange(*proc, op.va, op.bytes);
@@ -468,16 +491,23 @@ Machine::run(std::uint64_t ops)
         prof::Scope xlate_scope(prof::Phase::Translate);
         auto result = _mmu->translate(op.va);
         int retries = 0;
+        bool aborted = false;
         while (!result.ok) {
             emv_assert(retries++ < 4, "translation livelock at %s",
                        hexAddr(op.va).c_str());
-            serviceFault(result);
+            if (!serviceFault(result)) {
+                aborted = true;
+                break;
+            }
             result = _mmu->translate(op.va);
         }
+        if (aborted)
+            break;
     }
 
     const Snapshot after = snap();
     RunResult out;
+    out.completed = !_terminalFault;
     out.accessOps = accessCount - access0;
     out.remapOps = remapCount - remap0;
     out.baseCycles = baseCyclesPool - base0;
@@ -528,8 +558,12 @@ Machine::upgradeWithHostCompaction(std::uint64_t max_migrations)
         target_base = gseg.base() + gseg.offset();
         target_bytes = gseg.length();
     }
-    auto migrated = _vm->materializeVmmSegmentBacking(
-        target_base, target_bytes, max_migrations);
+    std::optional<std::uint64_t> migrated;
+    retryWithBackoff("host compaction", [&] {
+        migrated = _vm->materializeVmmSegmentBacking(
+            target_base, target_bytes, max_migrations);
+        return migrated.has_value();
+    });
     if (!migrated)
         return std::nullopt;
     auto info = _vm->createVmmSegment(target_bytes);
@@ -556,9 +590,19 @@ Machine::selfBalloonGuestSegment()
         return false;
     if (!balloon)
         balloon = std::make_unique<os::BalloonDriver>(*_os, *_vm);
-    auto ext = balloon->selfBalloon(primary->bytes);
-    if (!ext)
-        return false;
+    std::optional<Interval> ext;
+    retryWithBackoff("self-balloon", [&] {
+        ext = balloon->selfBalloon(primary->bytes);
+        return ext.has_value();
+    });
+    if (!ext) {
+        // Table III slow path: when the balloon/hotplug protocol
+        // keeps failing, compact guest memory into one free run the
+        // segment allocator can use instead.
+        if (!compactionDaemon().createFreeRun(primary->bytes))
+            return false;
+        ++injector->stats().counter("compaction_fallbacks");
+    }
     auto regs = _os->createGuestSegment(*proc);
     if (!regs)
         return false;
@@ -579,6 +623,457 @@ Machine::selfBalloonGuestSegment()
         }
     }
     return true;
+}
+
+bool
+Machine::downgradeMode()
+{
+    Mode next;
+    switch (cfg.mode) {
+      case Mode::DualDirect:
+        next = Mode::VmmDirect;
+        _mmu->retireGuestSegment();
+        break;
+      case Mode::VmmDirect:
+        next = Mode::BaseVirtualized;
+        _mmu->retireVmmSegment();
+        vmmSegmentInfo.reset();
+        break;
+      case Mode::GuestDirect:
+        next = Mode::BaseVirtualized;
+        _mmu->retireGuestSegment();
+        break;
+      case Mode::NativeDirect:
+        next = Mode::Native;
+        _mmu->retireGuestSegment();
+        break;
+      default:
+        return false;  // Native / BaseVirtualized: lattice bottom.
+    }
+    // The process keeps its segment registers: §VI.B's emulation
+    // lazily re-faults retired-segment addresses onto conventional
+    // PTEs with byte-identical translations, so a differential
+    // audit stays clean across the transition.
+    EMV_TRACE(Fault, "mode downgrade %s -> %s",
+              core::modeName(cfg.mode), core::modeName(next));
+    cfg.mode = next;
+    _mmu->setMode(next);
+    ++injector->stats().counter("downgrades");
+    faultCyclesPool +=
+        static_cast<double>(cfg.recovery.recoveryCycles);
+    return true;
+}
+
+void
+Machine::maybeDowngradeForSaturation()
+{
+    const double fill = cfg.recovery.filterSaturationFill;
+    const bool guest_sat = _mmu->guestSegment().enabled() &&
+                           _mmu->guestFilter().saturated(fill);
+    const bool vmm_sat = _mmu->vmmSegment().enabled() &&
+                         _mmu->vmmFilter().saturated(fill);
+    if (guest_sat || vmm_sat)
+        downgradeMode();
+}
+
+bool
+Machine::recordTerminalFault(const char *what, core::FaultSpace space,
+                             Addr addr)
+{
+    if (_terminalFault)
+        return false;
+    _terminalFault = FaultReport{what, space, addr, opCursor};
+    ++injector->stats().counter("terminal_faults");
+    EMV_TRACE(Fault, "terminal fault: %s space=%s addr=%s op=%llu",
+              what, core::toString(space), hexAddr(addr).c_str(),
+              static_cast<unsigned long long>(opCursor));
+    emv_warn("terminal fault: %s at %s (op %llu)", what,
+             hexAddr(addr).c_str(),
+             static_cast<unsigned long long>(opCursor));
+    return false;
+}
+
+bool
+Machine::retryWithBackoff(const char *what,
+                          const std::function<bool()> &attempt)
+{
+    const unsigned budget =
+        cfg.faultPolicy == fault::FaultPolicy::Degrade
+            ? cfg.recovery.maxRetries
+            : 0;
+    Cycles backoff = cfg.recovery.backoffBaseCycles;
+    for (unsigned tries = 0;; ++tries) {
+        if (attempt()) {
+            if (tries > 0)
+                ++injector->stats().counter("recoveries");
+            return true;
+        }
+        if (tries >= budget)
+            break;
+        ++injector->stats().counter("retries");
+        faultCyclesPool += static_cast<double>(backoff);
+        backoff *= 2;
+        EMV_TRACE(Fault, "%s request failed; retry %u of %u", what,
+                  tries + 1, budget);
+    }
+    ++injector->stats().counter("request_failures");
+    emv_warn("%s request failed after %u attempts", what, budget + 1);
+    return false;
+}
+
+os::CompactionDaemon &
+Machine::compactionDaemon()
+{
+    if (!compactor) {
+        compactor = std::make_unique<os::CompactionDaemon>(
+            *_os, [this](os::Process &p, Addr va, PageSize size) {
+                if (&p != proc)
+                    return;
+                _mmu->invalidateGuestPage(va, size);
+                shootdownCyclesPool += static_cast<double>(
+                    cfg.mmu.costs.shootdownCycles);
+            });
+    }
+    return *compactor;
+}
+
+void
+Machine::applyScheduledFaults()
+{
+    for (const auto &event : injector->eventsDue(opCursor)) {
+        if (_terminalFault)
+            break;
+        applyFault(event);
+    }
+}
+
+void
+Machine::applyFault(const fault::FaultEvent &event)
+{
+    using fault::FaultKind;
+    switch (event.kind) {
+      case FaultKind::DramFault:
+        for (unsigned i = 0; i < event.count && !_terminalFault; ++i)
+            injectDramFault();
+        break;
+      case FaultKind::GuestPteCorrupt:
+        for (unsigned i = 0; i < event.count && !_terminalFault; ++i)
+            injectGuestPteCorruption();
+        break;
+      case FaultKind::NestedPteCorrupt:
+        for (unsigned i = 0; i < event.count && !_terminalFault; ++i)
+            injectNestedPteCorruption();
+        break;
+      case FaultKind::FilterSaturate:
+        injectFilterSaturation();
+        break;
+      case FaultKind::BalloonFail:
+        performBalloonRequest(event.count);
+        break;
+      case FaultKind::HotplugFail:
+        performHotplugRequest(event.count);
+        break;
+      case FaultKind::CompactionFail:
+        performCompactionRequest(event.count);
+        break;
+      case FaultKind::SlotRevoke:
+        for (unsigned i = 0; i < event.count && !_terminalFault; ++i)
+            injectSlotRevocation();
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Machine::injectDramFault()
+{
+    auto &fstats = injector->stats();
+    auto &rng = injector->rng();
+
+    if (core::isVirtualized(cfg.mode)) {
+        // Fault a backed frame — preferentially under the active
+        // VMM segment, where a hard fault is most disruptive (§V).
+        Interval region = _vm->activeSegmentRegion();
+        if (region.empty()) {
+            auto extent = _vm->backingMap().largestExtent();
+            if (!extent) {
+                ++fstats.counter("injected_skipped");
+                return;
+            }
+            region = Interval{extent->gpa,
+                              extent->gpa + extent->bytes};
+        }
+        for (unsigned tries = 0; tries < 64; ++tries) {
+            const Addr gpa =
+                region.start +
+                alignDown(rng.nextBelow(region.length()), kPage4K);
+            auto hpa = _vm->gpaToHpa(gpa);
+            if (!hpa || _hostMem->isBad(*hpa))
+                continue;
+            _hostMem->markBad(*hpa);
+            ++fstats.counter("injected_dram");
+            EMV_TRACE(Fault, "dram fault: gpa=%s hpa=%s",
+                      hexAddr(gpa).c_str(), hexAddr(*hpa).c_str());
+            if (cfg.faultPolicy == fault::FaultPolicy::FailFast) {
+                recordTerminalFault("dram hard fault (failfast)",
+                                    FaultSpace::Nested, gpa);
+                return;
+            }
+            // Recover: copy to a healthy frame and repoint; under a
+            // segment the page then escapes through the filter.
+            if (!_vm->offlineFrame(gpa)) {
+                recordTerminalFault("dram fault: no healthy frame",
+                                    FaultSpace::Nested, gpa);
+                return;
+            }
+            faultCyclesPool +=
+                static_cast<double>(cfg.recovery.recoveryCycles);
+            const auto &vseg = _mmu->vmmSegment();
+            if (vseg.enabled() && vseg.contains(gpa)) {
+                _mmu->vmmFilter().insertPage(gpa);
+                ++fstats.counter("filter_escapes");
+                maybeDowngradeForSaturation();
+            }
+            return;
+        }
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+
+    // Native: fault a frame inside the direct segment's backing.
+    const auto &seg = proc->guestSegment();
+    if (!seg.enabled()) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    for (unsigned tries = 0; tries < 64; ++tries) {
+        const Addr pa = seg.base() + seg.offset() +
+                        alignDown(rng.nextBelow(seg.length()),
+                                  kPage4K);
+        if (_hostMem->isBad(pa))
+            continue;
+        _hostMem->markBad(pa);
+        ++fstats.counter("injected_dram");
+        const Addr va = pa - seg.offset();
+        EMV_TRACE(Fault, "dram fault: va=%s pa=%s",
+                  hexAddr(va).c_str(), hexAddr(pa).c_str());
+        if (cfg.faultPolicy == fault::FaultPolicy::FailFast) {
+            recordTerminalFault("dram hard fault (failfast)",
+                                FaultSpace::Guest, va);
+            return;
+        }
+        // Recover: escape the page so the next access walks the
+        // page table; the fault handler's §VI.B path remaps it to a
+        // healthy frame.
+        _os->unmapRange(*proc, va, kPage4K);
+        if (_mmu->guestSegment().enabled() &&
+            _mmu->guestSegment().contains(va)) {
+            _mmu->guestFilter().insertPage(va);
+            ++fstats.counter("filter_escapes");
+        }
+        _mmu->invalidateGuestPage(va, PageSize::Size4K);
+        faultCyclesPool +=
+            static_cast<double>(cfg.recovery.recoveryCycles);
+        maybeDowngradeForSaturation();
+        return;
+    }
+    ++fstats.counter("injected_skipped");
+}
+
+void
+Machine::injectGuestPteCorruption()
+{
+    auto &fstats = injector->stats();
+    auto &rng = injector->rng();
+    const auto &regions = proc->regions();
+    if (regions.empty()) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    for (unsigned tries = 0; tries < 32; ++tries) {
+        const auto &region = regions[static_cast<std::size_t>(
+            rng.nextBelow(regions.size()))];
+        const Addr page =
+            region.base +
+            alignDown(rng.nextBelow(region.bytes), kPage4K);
+        auto xlat = proc->pageTable().translate(page);
+        if (!xlat)
+            continue;  // Segment-covered or never faulted in.
+        ++fstats.counter("injected_guest_pte");
+        EMV_TRACE(Fault, "guest pte corrupt: va=%s",
+                  hexAddr(page).c_str());
+        if (cfg.faultPolicy == fault::FaultPolicy::FailFast) {
+            recordTerminalFault("guest pte corruption",
+                                FaultSpace::Guest, page);
+            return;
+        }
+        // Detection discards the whole (possibly large) leaf; the
+        // next access re-faults it in.
+        const Addr leaf_bytes = pageBytes(xlat->size);
+        _os->unmapRange(*proc, alignDown(page, leaf_bytes),
+                        leaf_bytes);
+        faultCyclesPool +=
+            static_cast<double>(cfg.recovery.recoveryCycles);
+        return;
+    }
+    ++fstats.counter("injected_skipped");
+}
+
+void
+Machine::injectNestedPteCorruption()
+{
+    auto &fstats = injector->stats();
+    auto &rng = injector->rng();
+    if (!_vm) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    auto extent = _vm->backingMap().largestExtent();
+    if (!extent) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    const Addr gpa =
+        extent->gpa +
+        alignDown(rng.nextBelow(extent->bytes), kPage4K);
+    ++fstats.counter("injected_nested_pte");
+    EMV_TRACE(Fault, "nested pte corrupt: gpa=%s",
+              hexAddr(gpa).c_str());
+    if (cfg.faultPolicy == fault::FaultPolicy::FailFast) {
+        recordTerminalFault("nested pte corruption",
+                            FaultSpace::Nested, gpa);
+        return;
+    }
+    // The backing map stays authoritative; the next nested fault on
+    // the page repairs the leaf (Vm::ensureBacked).
+    _vm->dropNestedMapping(gpa);
+    faultCyclesPool +=
+        static_cast<double>(cfg.recovery.recoveryCycles);
+}
+
+void
+Machine::injectFilterSaturation()
+{
+    auto &fstats = injector->stats();
+    segment::EscapeFilter *filter = nullptr;
+    if (_mmu->guestSegment().enabled())
+        filter = &_mmu->guestFilter();
+    else if (_mmu->vmmSegment().enabled())
+        filter = &_mmu->vmmFilter();
+    if (!filter) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    // Flood with noise pages until the popcount bound: past it the
+    // filter answers "maybe" for nearly everything and the segment
+    // no longer earns its keep.
+    auto &rng = injector->rng();
+    for (unsigned i = 0;
+         i < filter->sizeBits() &&
+         !filter->saturated(cfg.recovery.filterSaturationFill);
+         ++i) {
+        filter->insertPage(rng.nextBelow(1ull << 36) << 12);
+    }
+    ++fstats.counter("filter_saturations");
+    EMV_TRACE(Fault, "filter saturated: %u/%u bits set",
+              filter->popcount(), filter->sizeBits());
+    if (cfg.faultPolicy == fault::FaultPolicy::FailFast) {
+        recordTerminalFault("escape filter saturated",
+                            FaultSpace::None, 0);
+        return;
+    }
+    maybeDowngradeForSaturation();
+}
+
+void
+Machine::injectSlotRevocation()
+{
+    auto &fstats = injector->stats();
+    if (!_vm) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    // A legitimate VMM action under both policies: revoke the
+    // backing of one resident page outside the active segment; the
+    // next nested fault swaps it back in.
+    auto &rng = injector->rng();
+    const auto extents = _vm->backingMap().extents();
+    if (extents.empty()) {
+        ++fstats.counter("injected_skipped");
+        return;
+    }
+    for (unsigned tries = 0; tries < 32; ++tries) {
+        const auto &extent = extents[static_cast<std::size_t>(
+            rng.nextBelow(extents.size()))];
+        const Addr gpa =
+            extent.gpa +
+            alignDown(rng.nextBelow(extent.bytes), kPage4K);
+        if (_vm->activeSegmentRegion().contains(gpa))
+            continue;
+        if (_vm->swapOutPage(gpa)) {
+            ++fstats.counter("injected_slot_revokes");
+            EMV_TRACE(Fault, "slot revoked: gpa=%s",
+                      hexAddr(gpa).c_str());
+            return;
+        }
+    }
+    ++fstats.counter("injected_skipped");
+}
+
+void
+Machine::performBalloonRequest(unsigned failures)
+{
+    if (!_vm) {
+        ++injector->stats().counter("injected_skipped");
+        return;
+    }
+    injector->armFailures(fault::FaultPoint::BalloonReclaim,
+                          failures);
+    if (!balloon)
+        balloon = std::make_unique<os::BalloonDriver>(*_os, *_vm);
+    balloon->setRequestFaultHook([this] {
+        return injector->shouldFail(
+            fault::FaultPoint::BalloonReclaim);
+    });
+    // A host-pressure maintenance request; persistent failure is
+    // survivable (the host simply stays pressured).
+    retryWithBackoff("balloon", [&] {
+        return balloon->inflate(4 * MiB) > 0;
+    });
+}
+
+void
+Machine::performHotplugRequest(unsigned failures)
+{
+    if (!_vm) {
+        ++injector->stats().counter("injected_skipped");
+        return;
+    }
+    injector->armFailures(fault::FaultPoint::HotplugExtend, failures);
+    _vm->setExtensionFaultHook([this] {
+        return injector->shouldFail(fault::FaultPoint::HotplugExtend);
+    });
+    retryWithBackoff("hotplug", [&] {
+        auto base = _vm->grantExtension(4 * MiB);
+        if (!base)
+            return false;
+        _os->hotAdd(*base, 4 * MiB);
+        return true;
+    });
+}
+
+void
+Machine::performCompactionRequest(unsigned failures)
+{
+    injector->armFailures(fault::FaultPoint::Compaction, failures);
+    auto &daemon = compactionDaemon();
+    daemon.setFaultHook([this] {
+        return injector->shouldFail(fault::FaultPoint::Compaction);
+    });
+    retryWithBackoff("compaction", [&] {
+        return daemon.createFreeRun(16 * MiB).has_value();
+    });
 }
 
 } // namespace emv::sim

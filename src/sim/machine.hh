@@ -14,15 +14,20 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/types.hh"
 #include "core/mmu.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "mem/fragmenter.hh"
 #include "mem/phys_accessor.hh"
 #include "mem/phys_memory.hh"
 #include "os/balloon.hh"
+#include "os/compaction.hh"
 #include "os/guest_os.hh"
 #include "vmm/shadow_pager.hh"
 #include "vmm/vmm.hh"
@@ -75,8 +80,27 @@ struct MachineConfig
     FragmentationSpec hostFragmentation;
     FragmentationSpec guestFragmentation;
 
+    /** Mid-run fault schedule (trace-op granularity) and what to do
+     *  when a scheduled fault fires. */
+    fault::FaultPlan faultPlan;
+    fault::FaultPolicy faultPolicy = fault::FaultPolicy::Degrade;
+    std::uint64_t faultSeed = 7;
+    fault::RecoveryConfig recovery;
+
     core::MmuConfig mmu{};
     std::uint64_t seed = 42;
+};
+
+/**
+ * Structured record of an unrecoverable fault (replaces the old
+ * emv_fatal dead-ends): what happened, where, and at which trace op.
+ */
+struct FaultReport
+{
+    std::string reason;
+    core::FaultSpace space = core::FaultSpace::None;
+    Addr addr = 0;
+    std::uint64_t opIndex = 0;
 };
 
 /** Measured outcome of a run() interval. */
@@ -97,6 +121,10 @@ struct RunResult
     std::uint64_t guestFaults = 0;
     std::uint64_t ddFastHits = 0;
     std::uint64_t dsFastHits = 0;
+
+    /** False when the run aborted on an unrecoverable fault (see
+     *  Machine::terminalFault()). */
+    bool completed = true;
 
     double cyclesPerWalk = 0.0;
     double fractionBoth = 0.0;
@@ -161,6 +189,26 @@ class Machine
      * @return true when the guest segment was (re)created.
      */
     bool selfBalloonGuestSegment();
+
+    /**
+     * Table III downgrade, one lattice step: DualDirect→VmmDirect,
+     * VmmDirect→BaseVirtualized, GuestDirect→BaseVirtualized,
+     * NativeDirect→Native.  Retires the segment the step loses
+     * (registers nulled, filter cleared, TLBs flushed); covered
+     * addresses lazily re-fault onto byte-identical conventional
+     * mappings (§VI.B emulation), so a differential audit stays
+     * clean across the transition.
+     * @return false when the current mode has no downgrade.
+     */
+    bool downgradeMode();
+    /** @} */
+
+    /** @{ Fault injection and reporting. */
+    /** The fault that aborted the run, if any. */
+    const FaultReport *terminalFault() const
+    { return _terminalFault ? &*_terminalFault : nullptr; }
+
+    fault::FaultInjector &faultInjector() { return *injector; }
     /** @} */
 
     /** @{ Component access (examples, tests, benches). */
@@ -189,8 +237,39 @@ class Machine
     void wireMmu();
     void injectBadFrames();
 
-    /** Handle a faulting translation; true if retry makes sense. */
+    /** Handle a faulting translation; true if retry makes sense,
+     *  false when the run must abort (terminalFault() is set). */
     bool serviceFault(const core::TranslationResult &result);
+
+    /** @{ Scheduled-fault delivery (one call per due event). */
+    void applyScheduledFaults();
+    void applyFault(const fault::FaultEvent &event);
+    void injectDramFault();
+    void injectGuestPteCorruption();
+    void injectNestedPteCorruption();
+    void injectFilterSaturation();
+    void injectSlotRevocation();
+    void performBalloonRequest(unsigned failures);
+    void performHotplugRequest(unsigned failures);
+    void performCompactionRequest(unsigned failures);
+    /** @} */
+
+    /** Downgrade when either live filter crossed its fill bound. */
+    void maybeDowngradeForSaturation();
+
+    /** Record an unrecoverable fault; always returns false. */
+    bool recordTerminalFault(const char *what, core::FaultSpace space,
+                             Addr addr);
+
+    /** Run @p attempt up to 1 + maxRetries times (Degrade policy;
+     *  FailFast gets a single attempt), charging exponential backoff
+     *  cycles between tries.  @return true on eventual success. */
+    bool retryWithBackoff(const char *what,
+                          const std::function<bool()> &attempt);
+
+    /** Lazily built guest compaction daemon wired for TLB
+     *  invalidation on migration. */
+    os::CompactionDaemon &compactionDaemon();
 
     MachineConfig cfg;
     workload::Workload &wl;
@@ -204,7 +283,15 @@ class Machine
     std::unique_ptr<core::Mmu> _mmu;
     std::unique_ptr<vmm::ShadowPager> shadow;
     std::unique_ptr<os::BalloonDriver> balloon;
+    std::unique_ptr<os::CompactionDaemon> compactor;
     std::optional<vmm::VmmSegmentInfo> vmmSegmentInfo;
+
+    /** Fault machinery (always built; the plan may be empty). */
+    std::unique_ptr<fault::FaultInjector> injector;
+    std::optional<FaultReport> _terminalFault;
+    /** Trace ops replayed since construction (warmup + measure);
+     *  fault events are scheduled against this cursor. */
+    std::uint64_t opCursor = 0;
 
     /** Cycle pools accumulated outside the MMU. */
     double faultCyclesPool = 0.0;

@@ -376,8 +376,20 @@ Vm::ensureBacked(Addr gpa)
 {
     if (!_slots.gpaToHva(gpa))
         return false;  // Outside guest memory (e.g. I/O gap).
-    if (backing.toHpa(gpa))
+    if (backing.toHpa(gpa)) {
+        // Backed but missing its nested leaf: a dropped (corrupted)
+        // nested PTE.  The BackingMap is authoritative — re-derive
+        // the mapping from it instead of allocating a new frame.
+        const Addr page = alignDown(gpa, kPage4K);
+        if (!nestedPt->translate(page)) {
+            splitNestedLeaf(page);
+            nestedPt->map(page, *backing.toHpa(page),
+                          PageSize::Size4K);
+            countExit("nested_repair");
+            ++_stats.counter("nested_mappings_repaired");
+        }
         return true;
+    }
 
     // Swapped-out page: the nested fault swaps it back in.
     const Addr swap_page = alignDown(gpa, kPage4K);
@@ -445,6 +457,44 @@ Vm::repointBacking(Addr gpa, Addr new_hpa)
     backing.add(gpa, kPage4K, new_hpa);
     if (nestedChangeHook)
         nestedChangeHook(gpa, PageSize::Size4K);
+}
+
+bool
+Vm::offlineFrame(Addr gpa)
+{
+    const Addr page = alignDown(gpa, kPage4K);
+    auto hpa = backing.toHpa(page);
+    if (!hpa)
+        return false;
+    auto healthy = _vmm.allocHostBlock(PageSize::Size4K);
+    if (!healthy)
+        return false;
+    _vmm.hostMem().copyFrame(*healthy, *hpa);
+    repointBacking(page, *healthy);
+    // Retire the faulty frame: keep it allocated, never reuse.
+    _vmm.markHostUnmovable(*hpa, kPage4K);
+    ++_stats.counter("frames_offlined");
+    EMV_TRACE(Vmm, "frame offlined: gpa=%s hpa %s -> %s",
+              hexAddr(page).c_str(), hexAddr(*hpa).c_str(),
+              hexAddr(*healthy).c_str());
+    return true;
+}
+
+bool
+Vm::dropNestedMapping(Addr gpa)
+{
+    const Addr page = alignDown(gpa, kPage4K);
+    if (!backing.toHpa(page))
+        return false;
+    splitNestedLeaf(page);
+    if (nestedPt->translate(page))
+        nestedPt->unmap(page, PageSize::Size4K);
+    if (nestedChangeHook)
+        nestedChangeHook(page, PageSize::Size4K);
+    ++_stats.counter("nested_mappings_dropped");
+    EMV_TRACE(Vmm, "nested mapping dropped: gpa=%s",
+              hexAddr(page).c_str());
+    return true;
 }
 
 bool
@@ -582,6 +632,11 @@ Vm::grantExtension(Addr bytes)
 {
     emv_assert(isAligned(bytes, kPage4K),
                "extension must be 4K aligned");
+    if (extensionFaultHook && extensionFaultHook()) {
+        ++_stats.counter("extension_faults_injected");
+        EMV_TRACE(Vmm, "extension grant failed (injected fault)");
+        return std::nullopt;
+    }
     if (extensionCursor + bytes > cfg.extensionReserve) {
         ++_stats.counter("extension_failures");
         return std::nullopt;
@@ -631,6 +686,12 @@ Vm::materializeVmmSegmentBacking(Addr gpa_base, Addr bytes,
     emv_assert(isAligned(gpa_base, kPage4K) &&
                isAligned(bytes, kPage4K),
                "segment backing range must be 4K aligned");
+    if (compactionFaultHook && compactionFaultHook()) {
+        ++_stats.counter("compaction_faults_injected");
+        EMV_TRACE(Vmm, "segment materialization failed "
+                  "(injected compaction fault)");
+        return std::nullopt;
+    }
     auto &buddy = _vmm.hostBuddy();
     const Addr align = pageBytes(cfg.nestedPageSize);
     std::uint64_t migrations = 0;

@@ -163,6 +163,35 @@ class Vm : public os::BalloonBackend
     const Interval &activeSegmentRegion() const
     { return segmentRegion; }
 
+    /** @{ Fault recovery (graceful degradation support).
+     *
+     * offlineFrame() handles a DRAM hard fault on the frame backing
+     * @p gpa: copy the (still readable) contents to a healthy frame,
+     * repoint the backing, and retire the faulty frame so it is
+     * never reallocated.  dropNestedMapping() models nested-PTE
+     * corruption detection: the poisoned leaf is discarded and the
+     * next nested fault re-derives it from the BackingMap (see
+     * ensureBacked()'s repair path). */
+    /** Migrate @p gpa's backing off its (faulty) host frame.
+     *  @return false if gpa is unbacked or the host is out of
+     *  healthy memory. */
+    bool offlineFrame(Addr gpa);
+
+    /** Discard the nested leaf for @p gpa without touching the
+     *  backing map.  @return false if gpa is not backed. */
+    bool dropNestedMapping(Addr gpa);
+
+    /** Inject transient failures into balloon/hotplug requests:
+     *  while the hook returns true, grantExtension() fails. */
+    void setExtensionFaultHook(std::function<bool()> hook)
+    { extensionFaultHook = std::move(hook); }
+
+    /** Inject failures into segment-backing materialization: while
+     *  the hook returns true, materializeVmmSegmentBacking() fails. */
+    void setCompactionFaultHook(std::function<bool()> hook)
+    { compactionFaultHook = std::move(hook); }
+    /** @} */
+
     /** @{ Balloon/hotplug backend (guest driver calls these). */
     void reclaimGuestPages(const std::vector<Addr> &gpas) override;
     void reclaimGuestRange(Addr base, Addr bytes) override;
@@ -224,6 +253,8 @@ class Vm : public os::BalloonBackend
     std::unordered_map<Addr, std::array<std::uint64_t, 512>>
         swapStore;
     std::function<void(Addr, PageSize)> nestedChangeHook;
+    std::function<bool()> extensionFaultHook;
+    std::function<bool()> compactionFaultHook;
     StatGroup _stats;
 };
 

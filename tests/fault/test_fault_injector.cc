@@ -1,0 +1,92 @@
+/** @file Unit tests for the fault injector's delivery mechanics. */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+
+namespace emv::fault {
+namespace {
+
+FaultPlan
+threeEventPlan()
+{
+    auto plan =
+        FaultPlan::parse("dram@100x2,balloonfail@200,filtersat@300");
+    EXPECT_TRUE(plan.has_value());
+    return *plan;
+}
+
+TEST(FaultInjectorTest, DeliversEventsInOrderAndPopsThem)
+{
+    FaultInjector inj(threeEventPlan(), 1);
+    EXPECT_FALSE(inj.pending(99));
+    EXPECT_TRUE(inj.pending(100));
+
+    auto due = inj.eventsDue(250);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].kind, FaultKind::DramFault);
+    EXPECT_EQ(due[0].count, 2u);
+    EXPECT_EQ(due[1].kind, FaultKind::BalloonFail);
+
+    // Popped events never come back.
+    EXPECT_FALSE(inj.pending(250));
+    EXPECT_FALSE(inj.exhausted());
+
+    due = inj.eventsDue(1000);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].kind, FaultKind::FilterSaturate);
+    EXPECT_TRUE(inj.exhausted());
+    EXPECT_TRUE(inj.eventsDue(1000000).empty());
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsImmediatelyExhausted)
+{
+    FaultInjector inj(FaultPlan{}, 1);
+    EXPECT_TRUE(inj.exhausted());
+    EXPECT_FALSE(inj.pending(0));
+    EXPECT_TRUE(inj.eventsDue(1000).empty());
+}
+
+TEST(FaultInjectorTest, ArmedFailuresAreConsumedOneRequestEach)
+{
+    FaultInjector inj(FaultPlan{}, 1);
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::BalloonReclaim));
+
+    inj.armFailures(FaultPoint::BalloonReclaim, 2);
+    EXPECT_EQ(inj.armedFailures(FaultPoint::BalloonReclaim), 2u);
+    // Arming one point leaves the others alone.
+    EXPECT_EQ(inj.armedFailures(FaultPoint::HotplugExtend), 0u);
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::HotplugExtend));
+
+    EXPECT_TRUE(inj.shouldFail(FaultPoint::BalloonReclaim));
+    EXPECT_TRUE(inj.shouldFail(FaultPoint::BalloonReclaim));
+    EXPECT_FALSE(inj.shouldFail(FaultPoint::BalloonReclaim));
+    EXPECT_EQ(inj.armedFailures(FaultPoint::BalloonReclaim), 0u);
+}
+
+TEST(FaultInjectorTest, CountsDeliveriesInStats)
+{
+    FaultInjector inj(threeEventPlan(), 1);
+    EXPECT_EQ(inj.stats().counterValue("scheduled_events"), 3u);
+    (void)inj.eventsDue(300);
+    EXPECT_EQ(inj.stats().counterValue("delivered_events"), 3u);
+
+    inj.armFailures(FaultPoint::Compaction, 1);
+    EXPECT_EQ(inj.stats().counterValue("armed_failures"), 1u);
+    (void)inj.shouldFail(FaultPoint::Compaction);
+    EXPECT_EQ(
+        inj.stats().counterValue("injected_request_failures"), 1u);
+}
+
+TEST(FaultInjectorTest, RngIsDeterministicPerSeed)
+{
+    FaultInjector a(FaultPlan{}, 42);
+    FaultInjector b(FaultPlan{}, 42);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.rng().nextBelow(1u << 20),
+                  b.rng().nextBelow(1u << 20));
+}
+
+} // namespace
+} // namespace emv::fault

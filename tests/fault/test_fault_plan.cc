@@ -1,0 +1,102 @@
+/** @file Unit tests for fault plans: parsing, ordering, seeding. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault_plan.hh"
+
+namespace emv::fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesKindsOpsAndCounts)
+{
+    auto plan = FaultPlan::parse(
+        "dram@5000x8,balloonfail@7000,filtersat@9000");
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_EQ(plan->events().size(), 3u);
+    EXPECT_EQ(plan->events()[0],
+              (FaultEvent{5000, FaultKind::DramFault, 8}));
+    EXPECT_EQ(plan->events()[1],
+              (FaultEvent{7000, FaultKind::BalloonFail, 1}));
+    EXPECT_EQ(plan->events()[2],
+              (FaultEvent{9000, FaultKind::FilterSaturate, 1}));
+}
+
+TEST(FaultPlanTest, EmptySpecIsAnEmptyPlan)
+{
+    auto plan = FaultPlan::parse("");
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs)
+{
+    for (const char *spec :
+         {"dram", "dram@", "@5000", "bogus@5000", "dram@5000x",
+          "dram@5000x0", "dram@x3", "dram@5000junk", ",",
+          "dram@5000,,dram@6000", "dram@5000 x2"}) {
+        EXPECT_FALSE(FaultPlan::parse(spec).has_value())
+            << "spec '" << spec << "' should be rejected";
+    }
+}
+
+TEST(FaultPlanTest, ScheduleKeepsEventsSortedByOp)
+{
+    FaultPlan plan;
+    plan.schedule({9000, FaultKind::FilterSaturate, 1});
+    plan.schedule({1000, FaultKind::DramFault, 2});
+    plan.schedule({5000, FaultKind::SlotRevoke, 1});
+    ASSERT_EQ(plan.events().size(), 3u);
+    EXPECT_EQ(plan.events()[0].op, 1000u);
+    EXPECT_EQ(plan.events()[1].op, 5000u);
+    EXPECT_EQ(plan.events()[2].op, 9000u);
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips)
+{
+    const std::string spec =
+        "dram@100x3,guestpte@200,slotrevoke@300x2";
+    auto plan = FaultPlan::parse(spec);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->toString(), spec);
+    auto reparsed = FaultPlan::parse(plan->toString());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->events(), plan->events());
+}
+
+TEST(FaultPlanTest, RandomPlansAreDeterministicPerSeed)
+{
+    const auto a = FaultPlan::random(7, 10000);
+    const auto b = FaultPlan::random(7, 10000);
+    const auto c = FaultPlan::random(8, 10000);
+    EXPECT_EQ(a.toString(), b.toString());
+    EXPECT_NE(a.toString(), c.toString());
+    EXPECT_FALSE(a.empty());
+    for (const auto &event : a.events()) {
+        EXPECT_GE(event.op, 1000u);
+        EXPECT_LT(event.op, 10000u);
+        EXPECT_GE(event.count, 1u);
+    }
+}
+
+TEST(FaultPlanTest, KindAndPolicyNamesRoundTrip)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(FaultKind::NumKinds); ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        auto back = faultKindByName(faultKindName(kind));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(faultKindByName("bogus").has_value());
+
+    for (auto policy : {FaultPolicy::FailFast, FaultPolicy::Degrade}) {
+        auto back = faultPolicyByName(faultPolicyName(policy));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, policy);
+    }
+    EXPECT_FALSE(faultPolicyByName("bogus").has_value());
+}
+
+} // namespace
+} // namespace emv::fault

@@ -109,6 +109,60 @@ TEST(EscapeFilterTest, ExpectedRateGrowsWithInserts)
     EXPECT_GT(last, 0.1);  // Saturating filter becomes useless.
 }
 
+TEST(EscapeFilterTest, FillRatioTracksPopcount)
+{
+    EscapeFilter filter;
+    EXPECT_DOUBLE_EQ(filter.fillRatio(), 0.0);
+    EXPECT_FALSE(filter.saturated(0.5));
+
+    filter.insertPage(0x1000);
+    EXPECT_DOUBLE_EQ(filter.fillRatio(),
+                     static_cast<double>(filter.popcount()) /
+                         static_cast<double>(filter.sizeBits()));
+
+    filter.clear();
+    EXPECT_DOUBLE_EQ(filter.fillRatio(), 0.0);
+}
+
+TEST(EscapeFilterTest, SaturationCrossesTheFillBound)
+{
+    // Flood towards the popcount bound the way an injected
+    // filter-saturation fault does; the no-false-negative invariant
+    // must hold the whole way (checked by the audit layer), and the
+    // saturated() predicate must flip exactly when fillRatio()
+    // crosses the configured bound — the trigger for a Table III
+    // mode downgrade.
+    audit::setEnabled(true);
+    audit::resetCounters();
+
+    EscapeFilter filter;
+    Rng rng(29);
+    std::vector<Addr> pages;
+    bool was_saturated = filter.saturated(0.5);
+    EXPECT_FALSE(was_saturated);
+    for (unsigned i = 0; i < filter.sizeBits() && !was_saturated;
+         ++i) {
+        const Addr page = rng.nextBelow(1ull << 36) << 12;
+        filter.insertPage(page);
+        pages.push_back(page);
+        was_saturated = filter.saturated(0.5);
+        EXPECT_EQ(was_saturated, filter.fillRatio() >= 0.5);
+    }
+    EXPECT_TRUE(was_saturated);
+    // 4 hashes set at most 4 bits per insert: 256 * 0.5 / 4 = 32
+    // inserts minimum before half the bits can be lit.
+    EXPECT_GE(pages.size(), filter.sizeBits() / 2 /
+                                filter.numHashes());
+
+    // Saturated or not, a Bloom filter never forgets an insert.
+    for (Addr page : pages)
+        EXPECT_TRUE(filter.mayContain(page));
+
+    audit::setEnabled(false);
+    EXPECT_GT(audit::checkCount(), 0u);
+    EXPECT_EQ(audit::failureCount(), 0u);
+}
+
 /** Property sweep over filter geometries (ablation backing). */
 class FilterGeometryTest
     : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>

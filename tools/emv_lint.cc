@@ -23,6 +23,11 @@
  *                  distribution()/StatGroup() are lower_snake_case
  *                  dotted paths, matching the exported
  *                  "machine.mmu.*" naming convention.
+ *   no-fatal-recovery
+ *                  no emv_fatal in recovery-path code (src/fault/
+ *                  and sim/machine.cc) — faults there must degrade
+ *                  gracefully or produce a structured FaultReport,
+ *                  never abort the process.
  *
  * Usage: emv_lint <repo-root>
  * Exits 0 when clean; prints "file:line: [rule] message" per
@@ -232,6 +237,35 @@ checkRawOutput(const fs::path &file, const std::string &rel,
 }
 
 // ---------------------------------------------------------------------
+// Rule: no-fatal-recovery
+// ---------------------------------------------------------------------
+
+void
+checkNoFatalRecovery(const fs::path &file, const std::string &rel,
+                     const std::vector<std::string> &lines)
+{
+    // Recovery-path translation units: the fault subsystem and the
+    // machine layer that owns downgrade/retry/offline handling.
+    static const std::vector<std::string> recovery_paths = {
+        "fault/",
+        "sim/machine.cc",
+    };
+    if (!matchesAny(rel, recovery_paths))
+        return;
+    static const std::regex forbidden(
+        R"((^|[^_[:alnum:]])emv_fatal\s*\()");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i], forbidden)) {
+            report(file, static_cast<int>(i + 1),
+                   "no-fatal-recovery",
+                   "emv_fatal in recovery-path code; degrade "
+                   "gracefully (downgrade/retry/offline) or record "
+                   "a structured FaultReport instead of aborting");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------
 
@@ -366,6 +400,7 @@ main(int argc, char **argv)
 
         checkRawRng(path, rel, lines);
         checkRawOutput(path, rel, lines);
+        checkNoFatalRecovery(path, rel, lines);
         if (ext == ".hh")
             checkPragmaOnce(path, stripped);
         checkStatNames(path, text);

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * emv_soak — randomized fault-injection soak harness.
+ *
+ * For every translation mode and a batch of seeds, generate a mixed
+ * fault schedule (FaultPlan::random: DRAM faults, PTE corruptions,
+ * request failures, slot revocations, the odd filter saturation),
+ * replay it under policy=degrade with the differential auditor
+ * enabled, and demand that every run completes with zero audit
+ * mismatches.  Exit 0 only when the whole matrix is clean.
+ *
+ * Usage:
+ *   emv_soak [seeds=5] [ops=20000] [warmup=4000] [scale=0.05]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/audit.hh"
+#include "common/logging.hh"
+#include "fault/fault_plan.hh"
+#include "sim/experiment.hh"
+#include "workload/workload.hh"
+
+using namespace emv;
+
+namespace {
+
+const char *const kConfigs[] = {"4K",    "DS",    "4K+4K",
+                                "DD",    "4K+VD", "4K+GD"};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(out,
+                 "usage: emv_soak [seeds=N] [ops=N] [warmup=N] "
+                 "[scale=F]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+
+    unsigned seeds = 5;
+    std::uint64_t ops = 20000;
+    std::uint64_t warmup = 4000;
+    double scale = 0.05;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            printUsage(stdout);
+            return 0;
+        }
+        if (std::strncmp(arg, "seeds=", 6) == 0)
+            seeds = static_cast<unsigned>(std::atoi(arg + 6));
+        else if (std::strncmp(arg, "ops=", 4) == 0)
+            ops = std::strtoull(arg + 4, nullptr, 10);
+        else if (std::strncmp(arg, "warmup=", 7) == 0)
+            warmup = std::strtoull(arg + 7, nullptr, 10);
+        else if (std::strncmp(arg, "scale=", 6) == 0)
+            scale = std::atof(arg + 6);
+        else {
+            std::fprintf(stderr, "emv_soak: unknown argument '%s'\n",
+                         arg);
+            printUsage(stderr);
+            return 2;
+        }
+    }
+    if (seeds == 0 || ops + warmup < 100 || scale <= 0.0) {
+        std::fprintf(stderr, "emv_soak: bad parameters\n");
+        return 2;
+    }
+
+    sim::RunParams params;
+    params.scale = scale;
+    params.warmupOps = warmup;
+    params.measureOps = ops;
+    params.audit = true;
+    params.applyObservability();
+
+    std::printf("emv_soak: %zu configs x %u seeds, %llu+%llu ops, "
+                "scale=%.3g\n\n",
+                std::size(kConfigs), seeds,
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(ops), scale);
+    std::printf("%-6s %-5s %-9s %-6s %-7s %-7s %s\n", "config",
+                "seed", "done", "downgr", "mismat", "events",
+                "plan");
+
+    unsigned bad = 0;
+    for (const char *label : kConfigs) {
+        auto spec = sim::specFromLabel(label);
+        if (!spec) {
+            std::fprintf(stderr, "bad config label '%s'\n", label);
+            return 2;
+        }
+        for (unsigned s = 0; s < seeds; ++s) {
+            params.seed = 42 + s;
+            const std::uint64_t plan_seed =
+                1000ull * (s + 1) + std::strlen(label);
+            auto plan =
+                fault::FaultPlan::random(plan_seed, warmup + ops);
+
+            auto wl = workload::makeWorkload(
+                workload::WorkloadKind::Gups, params.seed,
+                params.scale);
+            auto cfg = sim::makeMachineConfig(*spec, params);
+            cfg.faultPlan = plan;
+            cfg.faultSeed = 100 + s;
+
+            audit::resetCounters();
+            sim::Machine machine(cfg, *wl);
+            machine.run(params.warmupOps);
+            machine.resetStats();
+            auto run = machine.run(params.measureOps);
+
+            const std::uint64_t mismatches =
+                audit::mismatchCount() + audit::failureCount();
+            const std::uint64_t downgrades =
+                machine.faultInjector().stats().counterValue(
+                    "downgrades");
+            const std::uint64_t delivered =
+                machine.faultInjector().stats().counterValue(
+                    "delivered_events");
+            const bool terminal =
+                machine.terminalFault() != nullptr;
+            const bool ok =
+                run.completed && !terminal && mismatches == 0;
+            if (!ok)
+                ++bad;
+
+            std::printf("%-6s %-5u %-9s %-6llu %-7llu %-7llu %s\n",
+                        label, s, ok ? "ok" : "FAIL",
+                        static_cast<unsigned long long>(downgrades),
+                        static_cast<unsigned long long>(mismatches),
+                        static_cast<unsigned long long>(delivered),
+                        plan.toString().c_str());
+            if (terminal) {
+                std::printf("       terminal fault: %s\n",
+                            machine.terminalFault()->reason.c_str());
+            }
+        }
+    }
+
+    std::printf("\nemv_soak: %u failing runs\n", bad);
+    return bad == 0 ? 0 : 1;
+}

@@ -9,6 +9,11 @@
  *          [fragguest=0] [fraghost=0] [stats=1]
  *          [statsjson=stats.json] [trace=Tlb,Walk]
  *          [tracefile=trace.log] [profile=1] [audit=1]
+ *          [faults=dram@5000x8] [policy=degrade] [faultseed=7]
+ *
+ * Arguments are strictly validated: anything that is not a known
+ * `key=value` pair (a typo like `tracefil=t.log`, a bare word, an
+ * unknown key) is a usage error.  `--help` lists every knob.
  *
  * `config` accepts the paper's labels: 4K 2M 1G THP, A+B combos,
  * DS DD 4K+VD 4K+GD 2M+VD THP+VD sh4K sh2M ...
@@ -19,7 +24,7 @@
  *   statsjson=PATH   dump every stat group as emv-stats-v1 JSON.
  *   trace=FLAGS      comma-separated debug-trace flags (Tlb, Walk,
  *                    Segment, Filter, Balloon, Compaction, Vmm,
- *                    Hotplug, or All).
+ *                    Hotplug, Fault, or All).
  *   tracefile=PATH   send trace records to PATH instead of stderr.
  *   profile=1        print a phase-timing summary (RAII timers).
  *   audit=1          enable runtime invariants plus the differential
@@ -27,6 +32,17 @@
  *                    through the reference 2D nested walk and
  *                    compared.  Results appear as machine.audit.*
  *                    stats; any mismatch makes emvsim exit 1.
+ *
+ * Fault injection:
+ *   faults=SPEC      schedule of mid-run faults at trace-op
+ *                    granularity: "kind@op[xCOUNT],..." with kinds
+ *                    dram guestpte nestedpte filtersat balloonfail
+ *                    hotplugfail compactfail slotrevoke.
+ *   policy=POLICY    degrade (recover: offline frames, retry with
+ *                    backoff, downgrade modes along Table III) or
+ *                    failfast (first hardware fault ends the run
+ *                    with a structured report and exit code 2).
+ *   faultseed=N      seed for victim selection and filter noise.
  */
 
 #include <cstdio>
@@ -37,12 +53,85 @@
 #include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
+#include "fault/fault_plan.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 
 using namespace emv;
 
 namespace {
+
+/** Every accepted key=value knob, with its help line. */
+struct Knob
+{
+    const char *key;
+    const char *help;
+};
+
+constexpr Knob kKnobs[] = {
+    {"workload", "gups graph500 memcached npb:cg cactusADM GemsFDTD "
+                 "mcf omnetpp canneal streamcluster (default gups)"},
+    {"config", "paper label: 4K 2M 1G THP A+B DS DD 4K+VD 4K+GD "
+               "sh4K sh2M ... (default 4K+4K)"},
+    {"scale", "workload footprint scale (default 0.25)"},
+    {"ops", "measured trace ops (default 1000000)"},
+    {"warmup", "warmup trace ops (default 200000)"},
+    {"seed", "workload / machine seed (default 42)"},
+    {"badframes", "boot-time hard faults in the segment backing "
+                  "(Fig. 13; default 0)"},
+    {"fragguest", "guest fragmentation: max free-run MB (0 = off)"},
+    {"fraghost", "host fragmentation: max free-run MB (0 = off)"},
+    {"stats", "print counter dumps (default 1)"},
+    {"statsjson", "dump every stat group as emv-stats-v1 JSON"},
+    {"trace", "debug-trace flags, e.g. Tlb,Walk or All"},
+    {"tracefile", "send trace records to this file"},
+    {"profile", "print a phase-timing summary (default 0)"},
+    {"audit", "differential audit; mismatches exit 1 (default 0)"},
+    {"faults", "mid-run fault schedule, e.g. "
+               "dram@5000x8,balloonfail@7000,filtersat@9000"},
+    {"policy", "fault policy: degrade (default) or failfast"},
+    {"faultseed", "fault victim-selection seed (default 7)"},
+};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(out, "usage: emvsim [key=value]...\n\n");
+    for (const auto &knob : kKnobs)
+        std::fprintf(out, "  %-10s %s\n", knob.key, knob.help);
+}
+
+bool
+knownKey(const std::string &key)
+{
+    for (const auto &knob : kKnobs) {
+        if (key == knob.key)
+            return true;
+    }
+    return false;
+}
+
+/** Reject anything that is not `known_key=value`. */
+bool
+validateArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            std::fprintf(stderr, "emvsim: malformed argument '%s' "
+                         "(expected key=value)\n", arg.c_str());
+            return false;
+        }
+        const std::string key = arg.substr(0, eq);
+        if (!knownKey(key)) {
+            std::fprintf(stderr, "emvsim: unknown argument '%s'\n",
+                         key.c_str());
+            return false;
+        }
+    }
+    return true;
+}
 
 const char *
 argValue(int argc, char **argv, const char *key)
@@ -80,6 +169,19 @@ main(int argc, char **argv)
 {
     setQuietLogging(true);
 
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h" || arg == "help") {
+            printUsage(stdout);
+            return 0;
+        }
+    }
+    if (!validateArgs(argc, argv)) {
+        std::fprintf(stderr, "\n");
+        printUsage(stderr);
+        return 2;
+    }
+
     const std::string wl_name =
         argValue(argc, argv, "workload") ?: "gups";
     const std::string config_label =
@@ -92,13 +194,13 @@ main(int argc, char **argv)
                      "memcached npb:cg cactusADM GemsFDTD mcf "
                      "omnetpp canneal streamcluster\n",
                      wl_name.c_str());
-        return 1;
+        return 2;
     }
     auto spec = sim::specFromLabel(config_label);
     if (!spec) {
         std::fprintf(stderr, "unknown config label '%s'\n",
                      config_label.c_str());
-        return 1;
+        return 2;
     }
 
     sim::RunParams params;
@@ -125,6 +227,24 @@ main(int argc, char **argv)
         params.profile = std::atoi(v) != 0;
     if (const char *v = argValue(argc, argv, "audit"))
         params.audit = std::atoi(v) != 0;
+    if (const char *v = argValue(argc, argv, "faults")) {
+        if (!fault::FaultPlan::parse(v)) {
+            std::fprintf(stderr, "emvsim: bad fault spec '%s' "
+                         "(expected kind@op[xCOUNT],...)\n", v);
+            return 2;
+        }
+        params.faultSpec = v;
+    }
+    if (const char *v = argValue(argc, argv, "policy")) {
+        if (!fault::faultPolicyByName(v)) {
+            std::fprintf(stderr, "emvsim: bad fault policy '%s' "
+                         "(degrade or failfast)\n", v);
+            return 2;
+        }
+        params.faultPolicy = v;
+    }
+    if (const char *v = argValue(argc, argv, "faultseed"))
+        params.faultSeed = std::strtoull(v, nullptr, 10);
     params.applyObservability();
 
     auto wl = workload::makeWorkload(*kind, params.seed,
@@ -150,6 +270,11 @@ main(int argc, char **argv)
                 wl->info().name.c_str(), config_label.c_str(),
                 params.scale,
                 sim::bytesStr(wl->info().footprintBytes).c_str());
+    if (!params.faultSpec.empty()) {
+        std::printf("fault plan: %s (policy=%s)\n",
+                    params.faultSpec.c_str(),
+                    params.faultPolicy.c_str());
+    }
 
     sim::Machine machine(cfg, *wl);
     machine.run(params.warmupOps);
@@ -174,6 +299,10 @@ main(int argc, char **argv)
     std::printf("guest segment: %s\nVMM segment:   %s\n",
                 machine.guestSegment().toString().c_str(),
                 machine.vmmSegment().toString().c_str());
+    if (!params.faultSpec.empty()) {
+        std::printf("final mode:    %s\n",
+                    core::modeName(machine.config().mode));
+    }
 
     const char *stats_arg = argValue(argc, argv, "stats");
     if (!stats_arg || std::atoi(stats_arg) != 0) {
@@ -185,6 +314,10 @@ main(int argc, char **argv)
         }
         std::printf("\n-- os counters --\n");
         machine.os().stats().dump(std::cout);
+        if (!params.faultSpec.empty()) {
+            std::printf("\n-- fault counters --\n");
+            machine.faultInjector().stats().dump(std::cout);
+        }
     }
 
     if (!params.statsJsonPath.empty()) {
@@ -208,10 +341,26 @@ main(int argc, char **argv)
                         audit::checkCount()),
                     static_cast<unsigned long long>(
                         audit::mismatchCount()));
-        if (audit::mismatchCount() != 0 ||
-            audit::failureCount() != 0) {
-            return 1;
-        }
+    }
+
+    // A terminal fault is a clean, structured, non-zero exit — not
+    // an abort: stats and JSON above still reflect the partial run.
+    if (const auto *terminal = machine.terminalFault()) {
+        std::printf("\n-- terminal fault --\n"
+                    "reason: %s\n"
+                    "space:  %s\n"
+                    "addr:   %s\n"
+                    "op:     %llu\n",
+                    terminal->reason.c_str(),
+                    core::toString(terminal->space),
+                    hexAddr(terminal->addr).c_str(),
+                    static_cast<unsigned long long>(
+                        terminal->opIndex));
+        return 2;
+    }
+    if (params.audit && (audit::mismatchCount() != 0 ||
+                         audit::failureCount() != 0)) {
+        return 1;
     }
     return 0;
 }
