@@ -1,6 +1,7 @@
 #include "common/intervals.hh"
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv {
@@ -217,6 +218,30 @@ IntervalSet::intervals() const
     for (const auto &[start, end] : byStart)
         out.push_back(Interval{start, end});
     return out;
+}
+
+void
+IntervalSet::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(byStart.size());
+    for (const auto &[start, end] : byStart) {
+        enc.u64(start);
+        enc.u64(end);
+    }
+}
+
+bool
+IntervalSet::deserialize(ckpt::Decoder &dec)
+{
+    byStart.clear();
+    const std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i) {
+        const Addr start = dec.u64();
+        const Addr end = dec.u64();
+        if (dec.ok())
+            byStart[start] = end;
+    }
+    return dec.ok();
 }
 
 } // namespace emv

@@ -19,6 +19,11 @@
 
 namespace emv {
 
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+
 /** A half-open range [start, end). */
 struct Interval
 {
@@ -97,6 +102,10 @@ class IntervalSet
     bool empty() const { return byStart.empty(); }
     std::size_t count() const { return byStart.size(); }
     void clear() { byStart.clear(); }
+
+    /** Checkpoint the interval list (replaces contents on restore). */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     /** start -> end. */

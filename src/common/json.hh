@@ -206,7 +206,11 @@ namespace detail {
 class Parser
 {
   public:
-    Parser(const char *begin, const char *end) : p(begin), end(end) {}
+    Parser(const char *begin, const char *end,
+           bool rejectDuplicateKeys = false)
+        : p(begin), end(end), rejectDuplicateKeys(rejectDuplicateKeys)
+    {
+    }
 
     bool
     parseDocument(Value &out)
@@ -295,7 +299,11 @@ class Parser
             Value member;
             if (!parseValue(member, depth + 1))
                 return false;
-            out.object.emplace(std::move(name), std::move(member));
+            const bool inserted =
+                out.object.emplace(std::move(name),
+                                   std::move(member)).second;
+            if (!inserted && rejectDuplicateKeys)
+                return false;
             skipWs();
             if (p == end)
                 return false;
@@ -448,15 +456,25 @@ class Parser
 
     const char *p;
     const char *end;
+    bool rejectDuplicateKeys;
 };
 
 } // namespace detail
 
-/** Strict parse; nullopt-style via the bool return. */
+/**
+ * Strict parse; nullopt-style via the bool return.  With
+ * @p rejectDuplicateKeys the parse also fails when an object repeats
+ * a member name (RFC 8259 leaves this "implementation-defined"; our
+ * exporters never emit duplicates, so validators treat them as
+ * corruption).  The default keeps the first occurrence, matching the
+ * lenient readers in tests.
+ */
 inline bool
-parse(const std::string &text, Value &out)
+parse(const std::string &text, Value &out,
+      bool rejectDuplicateKeys = false)
 {
-    detail::Parser parser(text.data(), text.data() + text.size());
+    detail::Parser parser(text.data(), text.data() + text.size(),
+                          rejectDuplicateKeys);
     return parser.parseDocument(out);
 }
 

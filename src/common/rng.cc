@@ -1,5 +1,7 @@
 #include "common/rng.hh"
 
+#include "common/ckpt.hh"
+
 #include <cmath>
 
 namespace emv {
@@ -108,6 +110,33 @@ Rng::nextZipf(std::uint64_t n, double theta)
         static_cast<double>(zipfN) *
         std::pow(zipfEta * u - zipfEta + 1.0, zipfAlpha));
     return rank >= zipfN ? zipfN - 1 : rank;
+}
+
+void
+Rng::serialize(ckpt::Encoder &enc) const
+{
+    for (std::uint64_t s : state)
+        enc.u64(s);
+    enc.u64(zipfN);
+    enc.f64(zipfTheta);
+    enc.f64(zipfZetaN);
+    enc.f64(zipfAlpha);
+    enc.f64(zipfEta);
+    enc.f64(zipfZeta2);
+}
+
+bool
+Rng::deserialize(ckpt::Decoder &dec)
+{
+    for (auto &s : state)
+        s = dec.u64();
+    zipfN = dec.u64();
+    zipfTheta = dec.f64();
+    zipfZetaN = dec.f64();
+    zipfAlpha = dec.f64();
+    zipfEta = dec.f64();
+    zipfZeta2 = dec.f64();
+    return dec.ok();
 }
 
 } // namespace emv

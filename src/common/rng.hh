@@ -14,6 +14,11 @@
 
 namespace emv {
 
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+
 /**
  * xoshiro256** generator seeded through SplitMix64.
  *
@@ -47,6 +52,13 @@ class Rng
      * large n used by key-value workloads.
      */
     std::uint64_t nextZipf(std::uint64_t n, double theta);
+
+    /**
+     * Checkpoint the full generator state (xoshiro words + cached
+     * Zipf parameters) so a restored stream continues bit-exactly.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     std::uint64_t state[4];

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/ckpt.hh"
 #include "common/stat_registry.hh"
 
 namespace emv {
@@ -79,6 +80,33 @@ double
 Distribution::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+Distribution::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(_count);
+    enc.f64(_sum);
+    enc.f64(_min);
+    enc.f64(_max);
+    enc.f64(_mean);
+    enc.f64(_m2);
+    for (std::uint64_t b : _buckets)
+        enc.u64(b);
+}
+
+bool
+Distribution::deserialize(ckpt::Decoder &dec)
+{
+    _count = dec.u64();
+    _sum = dec.f64();
+    _min = dec.f64();
+    _max = dec.f64();
+    _mean = dec.f64();
+    _m2 = dec.f64();
+    for (auto &b : _buckets)
+        b = dec.u64();
+    return dec.ok();
 }
 
 StatGroup::StatGroup(std::string name) : _name(std::move(name))
@@ -194,6 +222,52 @@ StatGroup::dump(std::ostream &os) const
         os << full << '.' << name << ".min " << d.min() << '\n';
         os << full << '.' << name << ".max " << d.max() << '\n';
     }
+}
+
+void
+StatGroup::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(counters.size());
+    for (const auto &[name, c] : counters) {
+        enc.str(name);
+        enc.u64(c.value());
+    }
+    enc.u64(scalars.size());
+    for (const auto &[name, s] : scalars) {
+        enc.str(name);
+        enc.f64(s.value());
+    }
+    enc.u64(distributions.size());
+    for (const auto &[name, d] : distributions) {
+        enc.str(name);
+        d.serialize(enc);
+    }
+}
+
+bool
+StatGroup::deserialize(ckpt::Decoder &dec)
+{
+    resetAll();
+    const std::uint64_t ncounters = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < ncounters; ++i) {
+        const std::string name = dec.str();
+        const std::uint64_t value = dec.u64();
+        if (dec.ok())
+            counter(name) += value;
+    }
+    const std::uint64_t nscalars = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < nscalars; ++i) {
+        const std::string name = dec.str();
+        const double value = dec.f64();
+        if (dec.ok())
+            scalar(name).set(value);
+    }
+    const std::uint64_t ndists = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < ndists; ++i) {
+        const std::string name = dec.str();
+        distribution(name).deserialize(dec);
+    }
+    return dec.ok();
 }
 
 ConfidenceInterval

@@ -25,6 +25,11 @@
 
 namespace emv {
 
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+
 /** Monotonic event counter. */
 class Counter
 {
@@ -91,6 +96,10 @@ class Distribution
     /** Raw bucket occupancy (tests, exporters). */
     const std::array<std::uint64_t, kBuckets> &buckets() const
     { return _buckets; }
+
+    /** Checkpoint all running moments + buckets bit-exactly. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     static unsigned bucketIndex(double value);
@@ -173,6 +182,14 @@ class StatGroup
     { parentGroup = group; parentPrefix.clear(); }
     const std::string &parent() const { return parentPrefix; }
     std::string fullName() const;
+
+    /**
+     * Checkpoint every stat by name.  deserialize() resets the group
+     * first, so stats present at save time are restored bit-exactly
+     * and stats created later start from zero as usual.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     std::string _name;

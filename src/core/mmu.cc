@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/differential_auditor.hh"
@@ -653,6 +654,73 @@ Mmu::fractionGuestOnly() const
         return 0.0;
     return static_cast<double>(_stats.counterValue("cat_guest_only")) /
            denom;
+}
+
+void
+Mmu::serialize(ckpt::Encoder &enc) const
+{
+    enc.u8(static_cast<std::uint8_t>(_mode));
+    enc.u64(nativeRoot);
+    enc.u64(guestRoot);
+    enc.u64(nestedRoot);
+    enc.u8(nativeRootValid ? 1 : 0);
+    enc.u8(guestRootValid ? 1 : 0);
+    enc.u8(nestedRootValid ? 1 : 0);
+    enc.u64(guestSeg.base());
+    enc.u64(guestSeg.limit());
+    enc.u64(guestSeg.offset());
+    enc.u64(vmmSeg.base());
+    enc.u64(vmmSeg.limit());
+    enc.u64(vmmSeg.offset());
+    _vmmFilter->serialize(enc);
+    _guestFilter->serialize(enc);
+    tlbHier.serialize(enc);
+    guestPsc.serialize(enc);
+    nestedPsc.serialize(enc);
+    pteLines.serialize(enc);
+    _stats.serialize(enc);
+}
+
+bool
+Mmu::deserialize(ckpt::Decoder &dec)
+{
+    const std::uint8_t savedMode = dec.u8();
+    if (dec.ok() && savedMode > static_cast<std::uint8_t>(
+                                    Mode::GuestDirect)) {
+        dec.fail("mmu: invalid mode value");
+        return false;
+    }
+    _mode = static_cast<Mode>(savedMode);
+    nativeRoot = dec.u64();
+    guestRoot = dec.u64();
+    nestedRoot = dec.u64();
+    nativeRootValid = dec.u8() != 0;
+    guestRootValid = dec.u8() != 0;
+    nestedRootValid = dec.u8() != 0;
+    {
+        const Addr base = dec.u64();
+        const Addr limit = dec.u64();
+        const std::uint64_t offset = dec.u64();
+        guestSeg = segment::SegmentRegs(base, limit, offset);
+    }
+    {
+        const Addr base = dec.u64();
+        const Addr limit = dec.u64();
+        const std::uint64_t offset = dec.u64();
+        vmmSeg = segment::SegmentRegs(base, limit, offset);
+    }
+    if (!_vmmFilter->deserialize(dec) ||
+        !_guestFilter->deserialize(dec) ||
+        !tlbHier.deserialize(dec) || !guestPsc.deserialize(dec) ||
+        !nestedPsc.deserialize(dec) || !pteLines.deserialize(dec) ||
+        !_stats.deserialize(dec))
+        return false;
+    // Scratch fault state never survives a translate() call; clear
+    // it so a restore mid-run starts from a clean slate.
+    pendingFaultSpace = FaultSpace::None;
+    pendingFaultAddr = 0;
+    walkSideCycles = 0;
+    return dec.ok();
 }
 
 } // namespace emv::core

@@ -49,6 +49,13 @@
 
 namespace emv::mem { class PhysMemory; }
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::core {
 
 class DifferentialAuditor;
@@ -175,6 +182,15 @@ class Mmu
     double fractionBoth() const;
     double fractionVmmOnly() const;
     double fractionGuestOnly() const;
+
+    /**
+     * Checkpoint the full translation state: mode, roots, segment
+     * registers, escape filters, TLB hierarchy, walk caches,
+     * PTE-line cache and stats.  (Table contents live in PhysMemory;
+     * the auditor is stateless and rebuilt lazily.)
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     friend class NestedPagingTranslator;

@@ -1,5 +1,6 @@
 #include "fault/fault_injector.hh"
 
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -72,6 +73,38 @@ unsigned
 FaultInjector::armedFailures(FaultPoint point) const
 {
     return armed[static_cast<std::size_t>(point)];
+}
+
+void
+FaultInjector::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(events.size());
+    enc.u64(cursor);
+    for (unsigned count : armed)
+        enc.u32(count);
+    _rng.serialize(enc);
+    _stats.serialize(enc);
+}
+
+bool
+FaultInjector::deserialize(ckpt::Decoder &dec)
+{
+    const std::uint64_t nevents = dec.u64();
+    if (dec.ok() && nevents != events.size()) {
+        dec.fail("fault: event count mismatch (restore requires "
+                 "the same fault plan)");
+        return false;
+    }
+    cursor = static_cast<std::size_t>(dec.u64());
+    if (dec.ok() && cursor > events.size()) {
+        dec.fail("fault: cursor out of range");
+        return false;
+    }
+    for (auto &count : armed)
+        count = dec.u32();
+    if (!_rng.deserialize(dec) || !_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::fault

@@ -23,6 +23,13 @@
 #include "common/stats.hh"
 #include "fault/fault_plan.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::fault {
 
 /** Cross-layer request sites that can be made to fail. */
@@ -67,6 +74,14 @@ class FaultInjector
     Rng &rng() { return _rng; }
 
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint the delivery cursor, armed failures, RNG and stats.
+     * The event list itself is rebuilt from the FaultPlan at
+     * construction (deterministic), so only progress is stored.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     std::vector<FaultEvent> events;

@@ -1,6 +1,7 @@
 #include "mem/buddy_allocator.hh"
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::mem {
@@ -298,6 +299,47 @@ BuddyAllocator::fragmentationIndex() const
     const Addr run = largestFreeRun();
     return 1.0 - static_cast<double>(run) /
                  static_cast<double>(free_total);
+}
+
+void
+BuddyAllocator::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(rangeBase);
+    enc.u64(rangeSize);
+    enc.u64(freeLists.size());
+    for (const auto &list : freeLists) {
+        enc.u64(list.size());
+        for (Addr block : list)
+            enc.u64(block);
+    }
+    _stats.serialize(enc);
+}
+
+bool
+BuddyAllocator::deserialize(ckpt::Decoder &dec)
+{
+    const Addr savedBase = dec.u64();
+    const Addr savedSize = dec.u64();
+    if (dec.ok() &&
+        (savedBase != rangeBase || savedSize != rangeSize)) {
+        dec.fail("buddy: managed range mismatch");
+        return false;
+    }
+    const std::uint64_t norders = dec.u64();
+    if (dec.ok() && norders != freeLists.size()) {
+        dec.fail("buddy: order count mismatch");
+        return false;
+    }
+    for (std::uint64_t o = 0; dec.ok() && o < norders; ++o) {
+        auto &list = freeLists[static_cast<std::size_t>(o)];
+        list.clear();
+        const std::uint64_t n = dec.u64();
+        for (std::uint64_t i = 0; dec.ok() && i < n; ++i)
+            list.insert(dec.u64());
+    }
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::mem

@@ -24,6 +24,13 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::mem {
 
 /**
@@ -99,6 +106,10 @@ class BuddyAllocator
 
     /** Order of the smallest block covering @p bytes. */
     static unsigned orderForBytes(Addr bytes);
+
+    /** Checkpoint the free lists and stats. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     /** Split blocks down until a block of @p order is available. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::mem {
@@ -151,6 +152,64 @@ PhysMemory::anyBadInRange(Addr base, Addr len) const
             return true;
     }
     return false;
+}
+
+void
+PhysMemory::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(sizeBytes);
+
+    std::vector<std::uint64_t> keys;
+    keys.reserve(frames.size());
+    for (const auto &[index, frame] : frames)
+        keys.push_back(index);
+    std::sort(keys.begin(), keys.end());
+    enc.u64(keys.size());
+    for (std::uint64_t index : keys) {
+        enc.u64(index);
+        const Frame &frame = *frames.at(index);
+        for (std::uint64_t word : frame)
+            enc.u64(word);
+    }
+
+    std::vector<std::uint64_t> bad(badFrames.begin(),
+                                   badFrames.end());
+    std::sort(bad.begin(), bad.end());
+    enc.u64(bad.size());
+    for (std::uint64_t frame : bad)
+        enc.u64(frame);
+
+    _stats.serialize(enc);
+}
+
+bool
+PhysMemory::deserialize(ckpt::Decoder &dec)
+{
+    const Addr savedSize = dec.u64();
+    if (dec.ok() && savedSize != sizeBytes) {
+        dec.fail("physmem: size mismatch");
+        return false;
+    }
+
+    frames.clear();
+    const std::uint64_t nframes = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < nframes; ++i) {
+        const std::uint64_t index = dec.u64();
+        auto frame = std::make_unique<Frame>();
+        for (auto &word : *frame)
+            word = dec.u64();
+        if (dec.ok())
+            frames.emplace(index, std::move(frame));
+    }
+
+    badFrames.clear();
+    const std::uint64_t nbad = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < nbad; ++i)
+        badFrames.insert(dec.u64());
+
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::mem

@@ -27,6 +27,13 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::mem {
 
 /**
@@ -73,6 +80,14 @@ class PhysMemory
     std::size_t residentFrames() const { return frames.size(); }
 
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint all resident frame contents plus the bad-frame
+     * registry (sorted, so files are byte-stable across runs).  This
+     * is the chunk that captures every page-table radix tree.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     using Frame = std::array<std::uint64_t, 512>;

@@ -1,5 +1,6 @@
 #include "os/balloon.hh"
 
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "common/trace.hh"
@@ -65,6 +66,26 @@ BalloonDriver::selfBalloon(Addr bytes)
     EMV_TRACE(Balloon, "self-balloon extension [%s, +%s)",
               hexAddr(*base).c_str(), hexAddr(bytes).c_str());
     return Interval{*base, *base + bytes};
+}
+
+void
+BalloonDriver::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(pinned.size());
+    for (Addr page : pinned)
+        enc.u64(page);
+    enc.u64(_inflatedBytes);
+}
+
+bool
+BalloonDriver::deserialize(ckpt::Decoder &dec)
+{
+    pinned.clear();
+    const std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i)
+        pinned.push_back(dec.u64());
+    _inflatedBytes = dec.u64();
+    return dec.ok();
 }
 
 } // namespace emv::os

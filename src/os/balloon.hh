@@ -20,6 +20,13 @@
 #include "common/intervals.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::os {
 
 class GuestOs;
@@ -81,6 +88,10 @@ class BalloonDriver
      *  touching guest memory — the caller retries with backoff. */
     void setRequestFaultHook(std::function<bool()> hook)
     { requestFaultHook = std::move(hook); }
+
+    /** Checkpoint the pinned-page list and inflated byte count. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     GuestOs &os;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "common/trace.hh"
@@ -180,6 +181,19 @@ CompactionDaemon::createFreeRun(Addr bytes, std::uint64_t
               hexAddr(wstart).c_str(), hexAddr(wend).c_str(),
               static_cast<unsigned long long>(migrated));
     return Interval{wstart, wend};
+}
+
+void
+CompactionDaemon::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(migrated);
+}
+
+bool
+CompactionDaemon::deserialize(ckpt::Decoder &dec)
+{
+    migrated = dec.u64();
+    return dec.ok();
 }
 
 } // namespace emv::os

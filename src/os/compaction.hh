@@ -19,6 +19,13 @@
 #include "common/intervals.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::os {
 
 class GuestOs;
@@ -60,6 +67,10 @@ class CompactionDaemon
      *  createFreeRun() fails without migrating anything. */
     void setFaultHook(std::function<bool()> hook)
     { faultHook = std::move(hook); }
+
+    /** Checkpoint the lifetime migration counter. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     /** One candidate window and its cost. */

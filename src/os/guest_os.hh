@@ -40,6 +40,13 @@
 #include "paging/page_table.hh"
 #include "segment/direct_segment.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::os {
 
 /** OS-level policy knobs. */
@@ -182,6 +189,15 @@ class GuestOs
     { mappingHook = std::move(hook); }
 
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint RAM layout, buddy state, every process (by index —
+     * the roster is fixed after boot), bad pages, unmovable set,
+     * kernel pool, THP RNG and stats.  Hooks are not serialized;
+     * owners re-wire them after restore.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     class OsMemSpace;

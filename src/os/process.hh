@@ -15,6 +15,13 @@
 #include "paging/page_table.hh"
 #include "segment/direct_segment.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::os {
 
 /**
@@ -61,6 +68,10 @@ class Process
     void setGuestSegment(const segment::SegmentRegs &regs)
     { _guestSegment = regs; }
     void clearGuestSegment() { _guestSegment.clear(); }
+
+    /** Checkpoint page-table metadata, regions and segment regs. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     int _pid;

@@ -1,6 +1,7 @@
 #include "paging/page_table.hh"
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::paging {
@@ -212,6 +213,29 @@ PageTable::translate(Addr va) const
         table = pte.frame();
     }
     return std::nullopt;
+}
+
+void
+PageTable::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(rootFrame);
+    enc.u64(leaves);
+    enc.u64(nodes);
+    enc.u64(updates);
+}
+
+bool
+PageTable::deserialize(ckpt::Decoder &dec)
+{
+    // The entries themselves are restored with physical memory; only
+    // the tree metadata lives here.  The constructor-allocated root
+    // is superseded by the saved root (its frame is accounted for by
+    // the restored allocator state).
+    rootFrame = dec.u64();
+    leaves = dec.u64();
+    nodes = dec.u64();
+    updates = dec.u64();
+    return dec.ok();
 }
 
 } // namespace emv::paging

@@ -25,6 +25,13 @@
 #include "common/types.hh"
 #include "paging/pte.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::paging {
 
 /**
@@ -130,6 +137,14 @@ class PageTable
 
     /** Bytes of memory consumed by table nodes. */
     Addr tableBytes() const { return nodes * kPage4K; }
+
+    /**
+     * Checkpoint table metadata (root, node/leaf/update counts).
+     * The tree contents themselves live in the MemSpace's physical
+     * memory and are captured by the PhysMemory chunk.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     /** Recursively free an entire subtree. */

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -107,6 +108,38 @@ EscapeFilter::expectedFalsePositiveRate() const
     const double m = static_cast<double>(bits);
     const double fill = 1.0 - std::exp(-k * n / m);
     return std::pow(fill, k);
+}
+
+void
+EscapeFilter::serialize(ckpt::Encoder &enc) const
+{
+    enc.u32(bits);
+    enc.u32(inserted);
+    enc.u64(words.size());
+    for (std::uint64_t w : words)
+        enc.u64(w);
+    _stats.serialize(enc);
+}
+
+bool
+EscapeFilter::deserialize(ckpt::Decoder &dec)
+{
+    const unsigned savedBits = dec.u32();
+    if (dec.ok() && savedBits != bits) {
+        dec.fail("escape_filter: size mismatch");
+        return false;
+    }
+    inserted = dec.u32();
+    const std::uint64_t n = dec.u64();
+    if (dec.ok() && n != words.size()) {
+        dec.fail("escape_filter: word count mismatch");
+        return false;
+    }
+    for (auto &w : words)
+        w = dec.u64();
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::segment

@@ -23,6 +23,13 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::segment {
 
 /** Bloom filter over page numbers. */
@@ -74,6 +81,14 @@ class EscapeFilter
     unsigned numHashes() const { return hashes.size(); }
 
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint the bit words, insert count and stats.  The H3
+     * matrices are rebuilt deterministically from the construction
+     * seed and are intentionally not stored.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     unsigned bits;

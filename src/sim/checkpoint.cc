@@ -1,0 +1,105 @@
+#include "sim/checkpoint.hh"
+
+#include "common/audit.hh"
+
+namespace emv::sim {
+
+namespace {
+
+/** Layout version of the params chunk itself. */
+constexpr std::uint32_t kMetaVersion = 1;
+
+} // namespace
+
+bool
+saveCheckpoint(const std::string &path, const CheckpointMeta &meta,
+               const Machine &machine, std::string &error)
+{
+    ckpt::Writer writer;
+
+    ckpt::Encoder p;
+    p.u32(kMetaVersion);
+    p.str(meta.workload);
+    p.str(meta.configLabel);
+    p.f64(meta.scale);
+    p.u64(meta.seed);
+    p.u64(meta.warmupOps);
+    p.u64(meta.measureOps);
+    p.u32(meta.badFrames);
+    p.u64(meta.badFrameSeed);
+    p.str(meta.faultSpec);
+    p.str(meta.faultPolicy);
+    p.u64(meta.faultSeed);
+    p.u64(meta.fragGuestBytes);
+    p.u64(meta.fragHostBytes);
+    p.u8(meta.audit ? 1 : 0);
+    p.u64(meta.warmupDone);
+    p.u64(meta.measuredOps);
+    writer.chunk("params", p);
+
+    ckpt::Encoder a;
+    audit::stats().serialize(a);
+    writer.chunk("audit", a);
+
+    machine.serialize(writer);
+    return writer.writeFile(path, &error);
+}
+
+bool
+loadCheckpoint(const std::string &path, LoadedCheckpoint &out,
+               std::string &error)
+{
+    if (!out.reader.loadFile(path)) {
+        error = out.reader.error();
+        return false;
+    }
+    ckpt::Decoder dec = out.reader.chunk("params");
+    const std::uint32_t meta_version = dec.u32();
+    if (dec.ok() && meta_version != kMetaVersion) {
+        dec.fail("params: unsupported meta version " +
+                 std::to_string(meta_version));
+    }
+    CheckpointMeta &meta = out.meta;
+    meta.workload = dec.str();
+    meta.configLabel = dec.str();
+    meta.scale = dec.f64();
+    meta.seed = dec.u64();
+    meta.warmupOps = dec.u64();
+    meta.measureOps = dec.u64();
+    meta.badFrames = dec.u32();
+    meta.badFrameSeed = dec.u64();
+    meta.faultSpec = dec.str();
+    meta.faultPolicy = dec.str();
+    meta.faultSeed = dec.u64();
+    meta.fragGuestBytes = dec.u64();
+    meta.fragHostBytes = dec.u64();
+    meta.audit = dec.u8() != 0;
+    meta.warmupDone = dec.u64();
+    meta.measuredOps = dec.u64();
+    if (!dec.ok()) {
+        error = "chunk 'params': " + dec.error();
+        return false;
+    }
+    if (meta.warmupDone > meta.warmupOps ||
+        meta.measuredOps > meta.measureOps) {
+        error = "chunk 'params': progress exceeds requested ops";
+        return false;
+    }
+    return true;
+}
+
+bool
+restoreMachine(const LoadedCheckpoint &file, Machine &machine,
+               std::string &error)
+{
+    ckpt::Decoder a = file.reader.chunk("audit");
+    if (!audit::stats().deserialize(a) || !a.ok()) {
+        error = "chunk 'audit': " +
+                (a.error().empty() ? std::string("malformed payload")
+                                   : a.error());
+        return false;
+    }
+    return machine.deserialize(file.reader, error);
+}
+
+} // namespace emv::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "common/trace.hh"
@@ -540,6 +541,261 @@ Machine::run(std::uint64_t ops)
             static_cast<double>(after.cg - before.cg) / denom;
     }
     return out;
+}
+
+RunResult
+Machine::measuredResult() const
+{
+    const auto &stats = _mmu->stats();
+    RunResult out;
+    out.completed = !_terminalFault;
+    out.accessOps = accessCount;
+    out.remapOps = remapCount;
+    out.baseCycles = baseCyclesPool;
+    out.translationCycles = stats.scalarValue("translation_cycles");
+    out.faultCycles = faultCyclesPool;
+    out.shootdownCycles = shootdownCyclesPool;
+    const std::uint64_t exits =
+        (_vm ? _vm->vmExits() : 0) - vmExitBase +
+        (shadow ? shadow->syncExits() : 0) - shadowExitBase;
+    out.vmExitCycles = static_cast<double>(exits) *
+                       static_cast<double>(cfg.mmu.costs.vmExitCycles);
+    out.l1Misses = stats.counterValue("l1_misses");
+    out.l2Misses = stats.counterValue("l2_misses");
+    out.walks = stats.counterValue("walks");
+    out.guestFaults = guestFaultCount;
+    out.ddFastHits = stats.counterValue("dd_fast_hits");
+    out.dsFastHits = stats.counterValue("ds_fast_hits");
+    const double walk_cycles = stats.scalarValue("walk_cycles");
+    out.cyclesPerWalk =
+        out.walks ? walk_cycles / static_cast<double>(out.walks)
+                  : 0.0;
+    const double denom = static_cast<double>(out.walks + out.ddFastHits +
+                                             out.dsFastHits);
+    if (denom > 0.0) {
+        out.fractionBoth =
+            static_cast<double>(stats.counterValue("cat_both")) / denom;
+        out.fractionVmmOnly =
+            static_cast<double>(stats.counterValue("cat_vmm_only")) /
+            denom;
+        out.fractionGuestOnly =
+            static_cast<double>(stats.counterValue("cat_guest_only")) /
+            denom;
+    }
+    return out;
+}
+
+void
+Machine::serialize(ckpt::Writer &writer) const
+{
+    ckpt::Encoder m;
+    m.u8(static_cast<std::uint8_t>(cfg.mode));
+    m.u64(opCursor);
+    m.f64(faultCyclesPool);
+    m.f64(shootdownCyclesPool);
+    m.f64(baseCyclesPool);
+    m.u64(guestFaultCount);
+    m.u64(remapCount);
+    m.u64(accessCount);
+    m.u64(vmExitBase);
+    m.u64(shadowExitBase);
+
+    m.u8(_terminalFault ? 1 : 0);
+    if (_terminalFault) {
+        m.str(_terminalFault->reason);
+        m.u8(static_cast<std::uint8_t>(_terminalFault->space));
+        m.u64(_terminalFault->addr);
+        m.u64(_terminalFault->opIndex);
+    }
+
+    m.u8(vmmSegmentInfo ? 1 : 0);
+    if (vmmSegmentInfo) {
+        m.u64(vmmSegmentInfo->regs.base());
+        m.u64(vmmSegmentInfo->regs.limit());
+        m.u64(vmmSegmentInfo->regs.offset());
+        m.u64(vmmSegmentInfo->escapedGpas.size());
+        for (Addr gpa : vmmSegmentInfo->escapedGpas)
+            m.u64(gpa);
+    }
+
+    // The balloon driver and compaction daemon are created lazily
+    // mid-run; an existence flag lets restore recreate them.
+    m.u8(balloon ? 1 : 0);
+    if (balloon)
+        balloon->serialize(m);
+    m.u8(compactor ? 1 : 0);
+    if (compactor)
+        compactor->serialize(m);
+    writer.chunk("machine", m);
+
+    ckpt::Encoder w;
+    wl.serialize(w);
+    writer.chunk("workload", w);
+
+    ckpt::Encoder pm;
+    _hostMem->serialize(pm);
+    writer.chunk("physmem", pm);
+
+    if (_vmm) {
+        ckpt::Encoder v;
+        _vmm->serialize(v);
+        writer.chunk("vmm", v);
+    }
+
+    ckpt::Encoder o;
+    _os->serialize(o);
+    writer.chunk("os", o);
+
+    ckpt::Encoder mmu_enc;
+    _mmu->serialize(mmu_enc);
+    writer.chunk("mmu", mmu_enc);
+
+    if (shadow) {
+        ckpt::Encoder s;
+        shadow->serialize(s);
+        writer.chunk("shadow", s);
+    }
+
+    ckpt::Encoder f;
+    injector->serialize(f);
+    writer.chunk("fault", f);
+}
+
+bool
+Machine::deserialize(const ckpt::Reader &reader, std::string &error)
+{
+    const auto restore = [&](const char *tag, auto &&fn) {
+        ckpt::Decoder dec = reader.chunk(tag);
+        if (!fn(dec) || !dec.ok()) {
+            error = std::string("chunk '") + tag + "': " +
+                    (dec.error().empty() ? "malformed payload"
+                                         : dec.error());
+            return false;
+        }
+        return true;
+    };
+
+    // Presence of the optional layers is fixed at construction, so
+    // a mismatch means the checkpoint was taken under a different
+    // boot configuration.
+    if (static_cast<bool>(_vmm) != reader.hasChunk("vmm")) {
+        error = "vmm state mismatch (checkpoint was taken under a "
+                "different configuration)";
+        return false;
+    }
+    if (static_cast<bool>(shadow) != reader.hasChunk("shadow")) {
+        error = "shadow-pager state mismatch (checkpoint was taken "
+                "under a different configuration)";
+        return false;
+    }
+
+    // Physical memory first: it holds every page-table node the
+    // later layers' roots point into.
+    if (!restore("physmem", [&](ckpt::Decoder &d) {
+            return _hostMem->deserialize(d);
+        }))
+        return false;
+    if (_vmm && !restore("vmm", [&](ckpt::Decoder &d) {
+            return _vmm->deserialize(d);
+        }))
+        return false;
+    if (!restore("os", [&](ckpt::Decoder &d) {
+            return _os->deserialize(d);
+        }))
+        return false;
+    if (!restore("mmu", [&](ckpt::Decoder &d) {
+            return _mmu->deserialize(d);
+        }))
+        return false;
+    if (shadow && !restore("shadow", [&](ckpt::Decoder &d) {
+            return shadow->deserialize(d);
+        }))
+        return false;
+    if (!restore("fault", [&](ckpt::Decoder &d) {
+            return injector->deserialize(d);
+        }))
+        return false;
+    if (!restore("workload", [&](ckpt::Decoder &d) {
+            return wl.deserialize(d);
+        }))
+        return false;
+
+    return restore("machine", [&](ckpt::Decoder &d) {
+        const std::uint8_t mode = d.u8();
+        if (d.ok() &&
+            mode > static_cast<std::uint8_t>(Mode::GuestDirect)) {
+            d.fail("machine: invalid mode value");
+            return false;
+        }
+        cfg.mode = static_cast<Mode>(mode);
+        opCursor = d.u64();
+        faultCyclesPool = d.f64();
+        shootdownCyclesPool = d.f64();
+        baseCyclesPool = d.f64();
+        guestFaultCount = d.u64();
+        remapCount = d.u64();
+        accessCount = d.u64();
+        vmExitBase = d.u64();
+        shadowExitBase = d.u64();
+
+        if (d.u8() != 0) {
+            FaultReport report;
+            report.reason = d.str();
+            const std::uint8_t space = d.u8();
+            if (d.ok() && space > static_cast<std::uint8_t>(
+                              FaultSpace::Nested)) {
+                d.fail("machine: invalid fault space");
+                return false;
+            }
+            report.space = static_cast<FaultSpace>(space);
+            report.addr = d.u64();
+            report.opIndex = d.u64();
+            if (d.ok())
+                _terminalFault = report;
+        } else {
+            _terminalFault.reset();
+        }
+
+        if (d.u8() != 0) {
+            vmm::VmmSegmentInfo info;
+            const Addr seg_base = d.u64();
+            const Addr seg_limit = d.u64();
+            const Addr seg_offset = d.u64();
+            info.regs = segment::SegmentRegs(seg_base, seg_limit,
+                                             seg_offset);
+            const std::uint64_t n = d.u64();
+            for (std::uint64_t i = 0; d.ok() && i < n; ++i)
+                info.escapedGpas.push_back(d.u64());
+            if (d.ok())
+                vmmSegmentInfo = info;
+        } else {
+            vmmSegmentInfo.reset();
+        }
+
+        if (d.u8() != 0) {
+            if (!_vm) {
+                d.fail("machine: balloon state without a VM");
+                return false;
+            }
+            if (!balloon) {
+                balloon =
+                    std::make_unique<os::BalloonDriver>(*_os, *_vm);
+            }
+            if (!balloon->deserialize(d))
+                return false;
+        } else {
+            balloon.reset();
+        }
+
+        if (d.u8() != 0) {
+            compactionDaemon();
+            if (!compactor->deserialize(d))
+                return false;
+        } else {
+            compactor.reset();
+        }
+        return d.ok();
+    });
 }
 
 std::optional<std::uint64_t>

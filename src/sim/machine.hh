@@ -33,6 +33,13 @@
 #include "vmm/vmm.hh"
 #include "workload/workload.hh"
 
+namespace emv {
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::sim {
 
 /** Deterministic fragmentation to apply before segment creation. */
@@ -172,6 +179,26 @@ class Machine
 
     /** Zero all statistics (end of warmup). */
     void resetStats();
+
+    /**
+     * Measured result accumulated since the last resetStats(),
+     * regardless of how many run() intervals it spans.  Computed
+     * from the live (checkpointable) counters, so a run resumed
+     * from a mid-measure checkpoint reports bit-identical numbers
+     * to the uninterrupted run.
+     */
+    RunResult measuredResult() const;
+
+    /** @{ Crash-safe checkpointing (emv-ckpt-v1).
+     * serialize() packs every mutable layer into tagged chunks;
+     * deserialize() overwrites the state of a machine that was
+     * *constructed from the same configuration and workload* (same
+     * seeds, sizes, fault plan — geometry mismatches are structured
+     * errors).  Hooks, H3 filter matrices and the differential
+     * auditor are deterministic or lazily rebuilt, not stored. */
+    void serialize(ckpt::Writer &writer) const;
+    bool deserialize(const ckpt::Reader &reader, std::string &error);
+    /** @} */
 
     /** @{ Table III mode transitions. */
     /**

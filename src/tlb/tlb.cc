@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::tlb {
@@ -168,6 +169,53 @@ Tlb::occupancy(EntryKind kind) const
     for (const auto &e : entries)
         n += (e.valid && e.kind == kind) ? 1 : 0;
     return n;
+}
+
+void
+Tlb::serialize(ckpt::Encoder &enc) const
+{
+    enc.u32(numSets);
+    enc.u32(numWays);
+    enc.u64(tick);
+    enc.u64(entries.size());
+    for (const auto &e : entries) {
+        enc.u64(e.vpn);
+        enc.u64(e.frame);
+        enc.u64(e.lru);
+        enc.u8(static_cast<std::uint8_t>(e.size));
+        enc.u8(static_cast<std::uint8_t>(e.kind));
+        enc.u8(e.valid ? 1 : 0);
+    }
+    _stats.serialize(enc);
+}
+
+bool
+Tlb::deserialize(ckpt::Decoder &dec)
+{
+    const unsigned savedSets = dec.u32();
+    const unsigned savedWays = dec.u32();
+    if (dec.ok() && (savedSets != numSets || savedWays != numWays)) {
+        dec.fail("tlb '" + name + "': geometry mismatch");
+        return false;
+    }
+    tick = dec.u64();
+    const std::uint64_t n = dec.u64();
+    if (dec.ok() && n != entries.size()) {
+        dec.fail("tlb '" + name + "': entry count mismatch");
+        return false;
+    }
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i) {
+        Entry &e = entries[static_cast<std::size_t>(i)];
+        e.vpn = dec.u64();
+        e.frame = dec.u64();
+        e.lru = dec.u64();
+        e.size = static_cast<PageSize>(dec.u8());
+        e.kind = static_cast<EntryKind>(dec.u8());
+        e.valid = dec.u8() != 0;
+    }
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::tlb

@@ -24,6 +24,13 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::tlb {
 
 /** What a TLB entry translates. */
@@ -78,6 +85,13 @@ class Tlb
     unsigned ways() const { return numWays; }
 
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint entries, LRU clock and stats.  deserialize() fails
+     * (structured, no UB) if the saved geometry differs.
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     struct Entry

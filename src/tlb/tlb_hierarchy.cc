@@ -126,4 +126,20 @@ TlbHierarchy::flushNestedPage(Addr gpa, PageSize size)
     l2Tlb.flushPage(EntryKind::Nested, gpa, size);
 }
 
+void
+TlbHierarchy::serialize(ckpt::Encoder &enc) const
+{
+    l1Tlb4K.serialize(enc);
+    l1Tlb2M.serialize(enc);
+    l1Tlb1G.serialize(enc);
+    l2Tlb.serialize(enc);
+}
+
+bool
+TlbHierarchy::deserialize(ckpt::Decoder &dec)
+{
+    return l1Tlb4K.deserialize(dec) && l1Tlb2M.deserialize(dec) &&
+           l1Tlb1G.deserialize(dec) && l2Tlb.deserialize(dec);
+}
+
 } // namespace emv::tlb

@@ -68,6 +68,10 @@ class TlbHierarchy
     /** Reparent every TLB's stat group under @p parent. */
     void setStatsParent(const StatGroup *parent);
 
+    /** Checkpoint all four TLBs. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
+
   private:
     Tlb l1Tlb4K;
     Tlb l1Tlb2M;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::tlb {
@@ -133,6 +134,90 @@ LineCache::flush()
     for (auto &entry : entries)
         entry.valid = false;
     ++_stats.counter("flushes");
+}
+
+void
+WalkCache::serialize(ckpt::Encoder &enc) const
+{
+    enc.u32(numSets);
+    enc.u32(numWays);
+    enc.u64(tick);
+    enc.u64(entries.size());
+    for (const auto &e : entries) {
+        enc.u64(e.key);
+        enc.u64(e.value);
+        enc.u64(e.lru);
+        enc.u8(e.valid ? 1 : 0);
+    }
+    _stats.serialize(enc);
+}
+
+bool
+WalkCache::deserialize(ckpt::Decoder &dec)
+{
+    const unsigned savedSets = dec.u32();
+    const unsigned savedWays = dec.u32();
+    if (dec.ok() && (savedSets != numSets || savedWays != numWays)) {
+        dec.fail("walkcache: geometry mismatch");
+        return false;
+    }
+    tick = dec.u64();
+    const std::uint64_t n = dec.u64();
+    if (dec.ok() && n != entries.size()) {
+        dec.fail("walkcache: entry count mismatch");
+        return false;
+    }
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i) {
+        Entry &e = entries[static_cast<std::size_t>(i)];
+        e.key = dec.u64();
+        e.value = dec.u64();
+        e.lru = dec.u64();
+        e.valid = dec.u8() != 0;
+    }
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
+}
+
+void
+LineCache::serialize(ckpt::Encoder &enc) const
+{
+    enc.u32(numSets);
+    enc.u32(numWays);
+    enc.u64(tick);
+    enc.u64(entries.size());
+    for (const auto &e : entries) {
+        enc.u64(e.tag);
+        enc.u64(e.lru);
+        enc.u8(e.valid ? 1 : 0);
+    }
+    _stats.serialize(enc);
+}
+
+bool
+LineCache::deserialize(ckpt::Decoder &dec)
+{
+    const unsigned savedSets = dec.u32();
+    const unsigned savedWays = dec.u32();
+    if (dec.ok() && (savedSets != numSets || savedWays != numWays)) {
+        dec.fail("linecache: geometry mismatch");
+        return false;
+    }
+    tick = dec.u64();
+    const std::uint64_t n = dec.u64();
+    if (dec.ok() && n != entries.size()) {
+        dec.fail("linecache: entry count mismatch");
+        return false;
+    }
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i) {
+        Entry &e = entries[static_cast<std::size_t>(i)];
+        e.tag = dec.u64();
+        e.lru = dec.u64();
+        e.valid = dec.u8() != 0;
+    }
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::tlb

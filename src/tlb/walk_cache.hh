@@ -25,6 +25,13 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::tlb {
 
 /**
@@ -56,6 +63,10 @@ class WalkCache
     void flush();
 
     StatGroup &stats() { return _stats; }
+
+    /** Checkpoint entries, LRU clock and stats. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     struct Entry
@@ -93,6 +104,10 @@ class LineCache
     void flush();
 
     StatGroup &stats() { return _stats; }
+
+    /** Checkpoint entries, LRU clock and stats. */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     struct Entry

@@ -1,6 +1,7 @@
 #include "vmm/backing_map.hh"
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::vmm {
@@ -195,6 +196,32 @@ BackingMap::totalBytes() const
     for (const auto &[gpa, value] : byGpa)
         total += value.bytes;
     return total;
+}
+
+void
+BackingMap::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(byGpa.size());
+    for (const auto &[gpa, value] : byGpa) {
+        enc.u64(gpa);
+        enc.u64(value.bytes);
+        enc.u64(value.hpa);
+    }
+}
+
+bool
+BackingMap::deserialize(ckpt::Decoder &dec)
+{
+    byGpa.clear();
+    const std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i) {
+        const Addr gpa = dec.u64();
+        const Addr bytes = dec.u64();
+        const Addr hpa = dec.u64();
+        if (dec.ok())
+            byGpa[gpa] = Value{bytes, hpa};
+    }
+    return dec.ok();
 }
 
 } // namespace emv::vmm

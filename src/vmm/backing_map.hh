@@ -19,6 +19,13 @@
 
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::vmm {
 
 /** One backing extent: [gpa, gpa+bytes) -> [hpa, hpa+bytes). */
@@ -79,6 +86,10 @@ class BackingMap
      * add()/remove() under auditing.
      */
     void auditInvariants() const;
+
+    /** Checkpoint the extent map (replaces contents on restore). */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     struct Value

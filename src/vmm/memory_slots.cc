@@ -1,5 +1,6 @@
 #include "vmm/memory_slots.hh"
 
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 
 namespace emv::vmm {
@@ -67,6 +68,35 @@ MemorySlots::find(const std::string &name) const
             return &slot;
     }
     return nullptr;
+}
+
+void
+MemorySlots::serialize(ckpt::Encoder &enc) const
+{
+    enc.u64(table.size());
+    for (const auto &slot : table) {
+        enc.str(slot.name);
+        enc.u64(slot.gpaBase);
+        enc.u64(slot.bytes);
+        enc.u64(slot.hvaBase);
+    }
+}
+
+bool
+MemorySlots::deserialize(ckpt::Decoder &dec)
+{
+    table.clear();
+    const std::uint64_t n = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < n; ++i) {
+        MemorySlot slot;
+        slot.name = dec.str();
+        slot.gpaBase = dec.u64();
+        slot.bytes = dec.u64();
+        slot.hvaBase = dec.u64();
+        if (dec.ok())
+            table.push_back(std::move(slot));
+    }
+    return dec.ok();
 }
 
 } // namespace emv::vmm

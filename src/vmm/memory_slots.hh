@@ -18,6 +18,13 @@
 
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::vmm {
 
 /** One gPA→hVA slot. */
@@ -52,6 +59,10 @@ class MemorySlots
 
     const std::vector<MemorySlot> &slots() const { return table; }
     const MemorySlot *find(const std::string &name) const;
+
+    /** Checkpoint the slot table (replaces contents on restore). */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     std::vector<MemorySlot> table;

@@ -1,5 +1,6 @@
 #include "vmm/shadow_pager.hh"
 
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "vmm/vmm.hh"
 
@@ -152,6 +153,21 @@ ShadowPager::onBackingChanged(Addr gpa, Addr bytes)
     (void)gpa;
     (void)bytes;
     rebuildAll();
+}
+
+void
+ShadowPager::serialize(ckpt::Encoder &enc) const
+{
+    shadowPt->serialize(enc);
+    _stats.serialize(enc);
+}
+
+bool
+ShadowPager::deserialize(ckpt::Decoder &dec)
+{
+    if (!shadowPt->deserialize(dec) || !_stats.deserialize(dec))
+        return false;
+    return dec.ok();
 }
 
 } // namespace emv::vmm

@@ -20,6 +20,13 @@
 #include "os/process.hh"
 #include "paging/page_table.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::vmm {
 
 class Vm;
@@ -57,6 +64,13 @@ class ShadowPager
     { return _stats.counterValue("sync_exits"); }
 
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint shadow-table metadata and stats (the table nodes
+     * live in host physical memory and travel with that chunk).
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     class ShadowTableSpace;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/audit.hh"
+#include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -838,6 +839,105 @@ Vm::materializeVmmSegmentBacking(Addr gpa_base, Addr bytes,
     }
     _stats.counter("pages_migrated") += migrations;
     return migrations;
+}
+
+void
+Vm::serialize(ckpt::Encoder &enc) const
+{
+    _slots.serialize(enc);
+    backing.serialize(enc);
+    nestedPt->serialize(enc);
+    enc.u64(extensionCursor);
+    enc.u64(extensionHostBase);
+    enc.u64(segmentRegion.start);
+    enc.u64(segmentRegion.end);
+
+    std::vector<Addr> swapped;
+    swapped.reserve(swapStore.size());
+    for (const auto &[gpa, frame] : swapStore)
+        swapped.push_back(gpa);
+    std::sort(swapped.begin(), swapped.end());
+    enc.u64(swapped.size());
+    for (Addr gpa : swapped) {
+        enc.u64(gpa);
+        for (std::uint64_t word : swapStore.at(gpa))
+            enc.u64(word);
+    }
+
+    _stats.serialize(enc);
+}
+
+bool
+Vm::deserialize(ckpt::Decoder &dec)
+{
+    if (!_slots.deserialize(dec) || !backing.deserialize(dec) ||
+        !nestedPt->deserialize(dec))
+        return false;
+    extensionCursor = dec.u64();
+    extensionHostBase = dec.u64();
+    segmentRegion.start = dec.u64();
+    segmentRegion.end = dec.u64();
+
+    swapStore.clear();
+    const std::uint64_t nswapped = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < nswapped; ++i) {
+        const Addr gpa = dec.u64();
+        std::array<std::uint64_t, 512> frame;
+        for (auto &word : frame)
+            word = dec.u64();
+        if (dec.ok())
+            swapStore.emplace(gpa, frame);
+    }
+
+    if (!_stats.deserialize(dec))
+        return false;
+    return dec.ok();
+}
+
+void
+Vmm::serialize(ckpt::Encoder &enc) const
+{
+    _hostBuddy->serialize(enc);
+    unmovableSet.serialize(enc);
+    enc.u64(retiredBadFrames.size());
+    for (Addr frame : retiredBadFrames)
+        enc.u64(frame);
+    enc.u64(tableFreeList.size());
+    for (Addr frame : tableFreeList)
+        enc.u64(frame);
+    _stats.serialize(enc);
+    enc.u64(_vms.size());
+    for (const auto &vm : _vms)
+        vm->serialize(enc);
+}
+
+bool
+Vmm::deserialize(ckpt::Decoder &dec)
+{
+    if (!_hostBuddy->deserialize(dec) ||
+        !unmovableSet.deserialize(dec))
+        return false;
+    retiredBadFrames.clear();
+    const std::uint64_t nretired = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < nretired; ++i)
+        retiredBadFrames.push_back(dec.u64());
+    tableFreeList.clear();
+    const std::uint64_t nfree = dec.u64();
+    for (std::uint64_t i = 0; dec.ok() && i < nfree; ++i)
+        tableFreeList.push_back(dec.u64());
+    if (!_stats.deserialize(dec))
+        return false;
+    const std::uint64_t nvms = dec.u64();
+    if (dec.ok() && nvms != _vms.size()) {
+        dec.fail("vmm: VM count mismatch (restore requires the "
+                 "same boot configuration)");
+        return false;
+    }
+    for (std::uint64_t i = 0; dec.ok() && i < nvms; ++i) {
+        if (!_vms[static_cast<std::size_t>(i)]->deserialize(dec))
+            return false;
+    }
+    return dec.ok();
 }
 
 } // namespace emv::vmm

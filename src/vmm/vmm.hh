@@ -35,6 +35,13 @@
 #include "vmm/backing_map.hh"
 #include "vmm/memory_slots.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::vmm {
 
 class Vmm;
@@ -213,6 +220,15 @@ class Vm : public os::BalloonBackend
     Vmm &vmm() { return _vmm; }
     /** @} */
 
+    /**
+     * Checkpoint all mutable VM state: slots, backing map, nested
+     * page-table metadata, extension cursors, segment region, swap
+     * store and stats.  (Nested table *contents* travel with host
+     * physical memory; hooks are re-wired by the owner.)
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
+
   private:
     friend class Vmm;
     class HostTableSpace;
@@ -296,6 +312,14 @@ class Vmm
 
     std::vector<Vm *> vms();
     StatGroup &stats() { return _stats; }
+
+    /**
+     * Checkpoint host-memory management plus every VM (by index;
+     * the VM roster itself is fixed at boot and rebuilt by
+     * deterministic construction before restore).
+     */
+    void serialize(ckpt::Encoder &enc) const;
+    bool deserialize(ckpt::Decoder &dec);
 
   private:
     mem::PhysMemory &_hostMem;

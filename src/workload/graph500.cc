@@ -11,6 +11,7 @@
  * long bursts and most produce short ones.
  */
 
+#include "common/ckpt.hh"
 #include "workload/detail.hh"
 #include "workload/graph500.hh"
 
@@ -70,6 +71,28 @@ class Graph500Workload : public BasicWorkload
         burstLeft = 2 * degree;
         burstPos = rng.nextBelow(edge_bytes / 8) * 8;
         return next();
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(scanPos);
+        enc.u64(scanLeft);
+        enc.u64(burstLeft);
+        enc.u64(burstPos);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        scanPos = dec.u64();
+        scanLeft = dec.u64();
+        burstLeft = dec.u64();
+        burstPos = dec.u64();
+        return dec.ok();
     }
 
   private:

@@ -6,6 +6,7 @@
  * access misses — which is why the paper plots it on its own axis.
  */
 
+#include "common/ckpt.hh"
 #include "workload/detail.hh"
 #include "workload/gups.hh"
 
@@ -49,6 +50,28 @@ class GupsWorkload : public BasicWorkload
         pendingVa = randomIn(0);
         pendingWrite = true;
         return Op{Op::Kind::Read, pendingVa, 0};
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(pendingVa);
+        enc.u8(pendingWrite ? 1 : 0);
+        enc.u64(streamPos);
+        enc.u64(tick);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        pendingVa = dec.u64();
+        pendingWrite = dec.u8() != 0;
+        streamPos = dec.u64();
+        tick = dec.u64();
+        return dec.ok();
     }
 
   private:

@@ -13,6 +13,7 @@
  * memcached in §IX.D.
  */
 
+#include "common/ckpt.hh"
 #include "workload/detail.hh"
 #include "workload/memcached.hh"
 
@@ -71,6 +72,26 @@ class MemcachedWorkload : public BasicWorkload
                 return Op{Op::Kind::Write, currentItem + 64, 0};
             return Op{Op::Kind::Read, currentItem + 64, 0};
         }
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(tick);
+        enc.u32(phase);
+        enc.u64(currentItem);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        tick = dec.u64();
+        phase = dec.u32();
+        currentItem = dec.u64();
+        return dec.ok();
     }
 
   private:

@@ -9,6 +9,7 @@
  * random workload bounded by the vector size.
  */
 
+#include "common/ckpt.hh"
 #include "workload/detail.hh"
 #include "workload/npb_cg.hh"
 
@@ -51,6 +52,24 @@ class NpbCgWorkload : public BasicWorkload
         if (phase % 32 == 1)
             return Op{Op::Kind::Write, va, 0};
         return Op{Op::Kind::Read, va, 0};
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(sweepPos);
+        enc.u64(phase);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        sweepPos = dec.u64();
+        phase = dec.u64();
+        return dec.ok();
     }
 
   private:

@@ -10,6 +10,7 @@
  *    medoid working set.
  */
 
+#include "common/ckpt.hh"
 #include "workload/detail.hh"
 #include "workload/parsec.hh"
 
@@ -49,6 +50,24 @@ class CannealWorkload : public BasicWorkload
                   randomIn(0), 0};
     }
 
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(localPos);
+        enc.u64(localLeft);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        localPos = dec.u64();
+        localLeft = dec.u64();
+        return dec.ok();
+    }
+
   private:
     Addr localPos = 0;
     std::uint64_t localLeft = 0;
@@ -79,6 +98,24 @@ class StreamclusterWorkload : public BasicWorkload
         }
         pos = (pos + 64) % bytesOf(0);
         return Op{Op::Kind::Read, base(0) + pos, 0};
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(pos);
+        enc.u64(tick);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        pos = dec.u64();
+        tick = dec.u64();
+        return dec.ok();
     }
 
   private:

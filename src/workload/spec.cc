@@ -15,6 +15,7 @@
  *    allocation churn (the other shadow-paging loser in §IX.D).
  */
 
+#include "common/ckpt.hh"
 #include "workload/detail.hh"
 #include "workload/spec.hh"
 
@@ -53,6 +54,24 @@ class CactusWorkload : public BasicWorkload
             pencil = (pencil + 8) % plane;
         }
         return Op{write ? Op::Kind::Write : Op::Kind::Read, va, 0};
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(z);
+        enc.u64(pencil);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        z = dec.u64();
+        pencil = dec.u64();
+        return dec.ok();
     }
 
   private:
@@ -94,6 +113,26 @@ class GemsWorkload : public BasicWorkload
         return Op{s == 0 ? Op::Kind::Write : Op::Kind::Read, va, 0};
     }
 
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u32(stream);
+        enc.u64(pos);
+        enc.u64(zpos);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        stream = dec.u32();
+        pos = dec.u64();
+        zpos = dec.u64();
+        return dec.ok();
+    }
+
   private:
     static constexpr unsigned kStreams = 6;
     unsigned stream = 0;
@@ -132,6 +171,22 @@ class McfWorkload : public BasicWorkload
                   base(0) + cursor, 0};
     }
 
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(cursor);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        cursor = dec.u64();
+        return dec.ok();
+    }
+
   private:
     Addr cursor = 0;
 };
@@ -168,6 +223,22 @@ class OmnetppWorkload : public BasicWorkload
         return Op{rng.nextBool(0.3) ? Op::Kind::Write
                                     : Op::Kind::Read,
                   va, 0};
+    }
+
+    void
+    serialize(ckpt::Encoder &enc) const override
+    {
+        Workload::serialize(enc);
+        enc.u64(tick);
+    }
+
+    bool
+    deserialize(ckpt::Decoder &dec) override
+    {
+        if (!Workload::deserialize(dec))
+            return false;
+        tick = dec.u64();
+        return dec.ok();
     }
 
   private:

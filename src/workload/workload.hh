@@ -26,6 +26,13 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 
+namespace emv {
+namespace ckpt {
+class Encoder;
+class Decoder;
+} // namespace ckpt
+} // namespace emv
+
 namespace emv::workload {
 
 /** A virtual-memory region the workload wants mapped. */
@@ -81,6 +88,15 @@ class Workload
 
     /** Produce the next trace event. */
     virtual Op next() = 0;
+
+    /**
+     * Checkpoint the generator cursor state.  The base class covers
+     * the RNG stream; generators with private cursors override and
+     * call the base first.  Region specs, bases and info are
+     * reconstructed from (kind, seed, scale) and are not stored.
+     */
+    virtual void serialize(ckpt::Encoder &enc) const;
+    virtual bool deserialize(ckpt::Decoder &dec);
 
   protected:
     Rng rng;

@@ -4,6 +4,7 @@
 
 #include "common/intervals.hh"
 #include "common/rng.hh"
+#include "../test_support.hh"
 
 namespace emv {
 namespace {
@@ -184,6 +185,22 @@ TEST(IntervalSetTest, RandomizedInsertEraseConsistency)
     for (bool b : ref)
         expect_total += b ? 1 : 0;
     EXPECT_EQ(set.totalLength(), expect_total);
+}
+
+TEST(IntervalSetTest, CheckpointRoundTripReplacesContents)
+{
+    IntervalSet set;
+    set.insert(10, 20);
+    set.insert(40, 60);
+    const auto bytes = test::ckptBytes(set);
+    IntervalSet restored;
+    restored.insert(0, 1000);  // Replaced on restore, not merged.
+    ASSERT_TRUE(test::ckptRestore(bytes, restored));
+    EXPECT_EQ(test::ckptBytes(restored), bytes);
+    EXPECT_EQ(restored.count(), 2u);
+    EXPECT_TRUE(restored.containsRange(10, 20));
+    EXPECT_TRUE(restored.containsRange(40, 60));
+    EXPECT_FALSE(restored.contains(30));
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/stats.hh"
+#include "../test_support.hh"
 
 namespace emv {
 namespace {
@@ -123,6 +124,50 @@ TEST(Confidence95Test, WidthShrinksWithSamples)
         many.push_back(i % 2 ? 1.0 : 2.0);
     EXPECT_GT(confidence95(few).halfWidth,
               confidence95(many).halfWidth);
+}
+
+TEST(DistributionTest, CheckpointRoundTrip)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 9.0})
+        d.sample(v);
+    const auto bytes = test::ckptBytes(d);
+    Distribution r;
+    ASSERT_TRUE(test::ckptRestore(bytes, r));
+    EXPECT_EQ(test::ckptBytes(r), bytes);
+    EXPECT_EQ(r.count(), 3u);
+    EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(r.min(), 2.0);
+    EXPECT_DOUBLE_EQ(r.max(), 9.0);
+}
+
+TEST(StatGroupTest, CheckpointRoundTripRebuildsByName)
+{
+    StatGroup g("ckpt_src");
+    g.counter("hits") += 7;
+    g.scalar("cycles") += 1.25;
+    g.distribution("lat").sample(3.0);
+    const auto bytes = test::ckptBytes(g);
+    StatGroup r("ckpt_src");
+    ASSERT_TRUE(test::ckptRestore(bytes, r));
+    EXPECT_EQ(test::ckptBytes(r), bytes);
+    EXPECT_EQ(r.counterValue("hits"), 7u);
+    EXPECT_DOUBLE_EQ(r.scalarValue("cycles"), 1.25);
+    EXPECT_EQ(r.distribution("lat").count(), 1u);
+}
+
+TEST(StatGroupTest, CheckpointRestoreResetsStaleStats)
+{
+    StatGroup g("ckpt_reset");
+    g.counter("hits") += 3;
+    StatGroup r("ckpt_reset");
+    Counter &stale = r.counter("stale");
+    stale += 99;
+    ASSERT_TRUE(test::ckptRestore(test::ckptBytes(g), r));
+    // Restore resets the whole group before rebuilding by name, and
+    // previously-bound references stay valid (node stability).
+    EXPECT_EQ(r.counterValue("hits"), 3u);
+    EXPECT_EQ(stale.value(), 0u);
 }
 
 } // namespace

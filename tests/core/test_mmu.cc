@@ -388,6 +388,34 @@ TEST_F(MmuTest, SegmentGranulePropagation)
     EXPECT_NE(mmu->translate(0x3000).path, TranslatePath::L1Hit);
 }
 
+TEST_F(MmuTest, CheckpointRoundTripPreservesTlbsAndMode)
+{
+    auto a = makeMmu(Mode::BaseVirtualized);
+    ASSERT_TRUE(a->translate(0x2abc).ok);
+    const auto bytes = test::ckptBytes(*a);
+
+    // Restore into an MMU booted in a different mode: the serialized
+    // mode wins, and the warm TLB state comes back with it.
+    auto b = makeMmu(Mode::Native);
+    ASSERT_TRUE(test::ckptRestore(bytes, *b));
+    EXPECT_EQ(test::ckptBytes(*b), bytes);
+    EXPECT_EQ(b->mode(), Mode::BaseVirtualized);
+    auto warm = b->translate(0x2abd);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.path, TranslatePath::L1Hit);
+    EXPECT_EQ(b->stats().counterValue("walks"),
+              a->stats().counterValue("walks"));
+}
+
+TEST_F(MmuTest, CheckpointRejectsTruncatedState)
+{
+    auto a = makeMmu(Mode::DualDirect);
+    auto bytes = test::ckptBytes(*a);
+    bytes.resize(bytes.size() / 2);
+    auto b = makeMmu(Mode::DualDirect);
+    EXPECT_FALSE(test::ckptRestore(bytes, *b));
+}
+
 TEST_F(MmuTest, DualDirectDisabledVmmSegmentActsAsGuestDirect)
 {
     MmuConfig cfg;

@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
+#include "../test_support.hh"
 
 namespace emv::fault {
 namespace {
@@ -86,6 +87,30 @@ TEST(FaultInjectorTest, RngIsDeterministicPerSeed)
     for (int i = 0; i < 16; ++i)
         EXPECT_EQ(a.rng().nextBelow(1u << 20),
                   b.rng().nextBelow(1u << 20));
+}
+
+TEST(FaultInjectorTest, CheckpointRoundTripResumesSchedule)
+{
+    FaultInjector a(threeEventPlan(), 1);
+    // Consume the first two events, leaving filtersat@300 pending.
+    ASSERT_EQ(a.eventsDue(250).size(), 2u);
+    const auto bytes = test::ckptBytes(a);
+
+    FaultInjector b(threeEventPlan(), 1);
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(emv::test::ckptBytes(b), bytes);
+    // Already-delivered events never come back; the rest fire.
+    EXPECT_FALSE(b.pending(250));
+    EXPECT_TRUE(b.pending(300));
+    ASSERT_EQ(b.eventsDue(1000).size(), 1u);
+    EXPECT_TRUE(b.exhausted());
+}
+
+TEST(FaultInjectorTest, CheckpointRejectsDifferentPlan)
+{
+    FaultInjector a(threeEventPlan(), 1);
+    FaultInjector b(FaultPlan{}, 1);
+    EXPECT_FALSE(test::ckptRestore(test::ckptBytes(a), b));
 }
 
 } // namespace

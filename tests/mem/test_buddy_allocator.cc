@@ -6,6 +6,7 @@
 
 #include "common/rng.hh"
 #include "mem/buddy_allocator.hh"
+#include "../test_support.hh"
 
 namespace emv::mem {
 namespace {
@@ -217,6 +218,32 @@ TEST_P(BuddyPropertyTest, LiveBlocksNeverOverlap)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BuddyTest, CheckpointRoundTripPreservesFreeLists)
+{
+    BuddyAllocator a(0, 16 * MiB);
+    a.allocate(0);
+    a.allocate(4);
+    auto block = a.allocate(2);
+    ASSERT_TRUE(block.has_value());
+    a.free(*block, 2);
+    const auto bytes = test::ckptBytes(a);
+
+    BuddyAllocator b(0, 16 * MiB);
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.freeBytes(), a.freeBytes());
+    EXPECT_EQ(b.largestFreeRun(), a.largestFreeRun());
+    // The restored allocator hands out the same next block.
+    EXPECT_EQ(b.allocate(0), a.allocate(0));
+}
+
+TEST(BuddyTest, CheckpointRejectsRangeMismatch)
+{
+    BuddyAllocator a(0, 16 * MiB);
+    BuddyAllocator b(0, 8 * MiB);
+    EXPECT_FALSE(test::ckptRestore(test::ckptBytes(a), b));
+}
 
 } // namespace
 } // namespace emv::mem

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/phys_memory.hh"
+#include "../test_support.hh"
 
 namespace emv::mem {
 namespace {
@@ -133,6 +134,30 @@ TEST(PhysMemoryDeathTest, MisalignedPanics)
 {
     PhysMemory mem(1 * MiB);
     EXPECT_DEATH(mem.read64(4), "misaligned");
+}
+
+TEST(PhysMemoryTest, CheckpointRoundTripReplacesFrames)
+{
+    PhysMemory a(1 * MiB);
+    a.write64(0x1000, 0xdeadbeefcafebabeull);
+    a.write64(0x8ff8, 7);
+    const auto bytes = test::ckptBytes(a);
+
+    PhysMemory b(1 * MiB);
+    b.write64(0x2000, 5);  // Stale resident frame; dropped.
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.read64(0x1000), 0xdeadbeefcafebabeull);
+    EXPECT_EQ(b.read64(0x8ff8), 7u);
+    EXPECT_EQ(b.read64(0x2000), 0u);
+    EXPECT_EQ(b.residentFrames(), a.residentFrames());
+}
+
+TEST(PhysMemoryTest, CheckpointRejectsSizeMismatch)
+{
+    PhysMemory a(1 * MiB);
+    PhysMemory b(2 * MiB);
+    EXPECT_FALSE(test::ckptRestore(test::ckptBytes(a), b));
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 #include "os/balloon.hh"
 #include "os/guest_os.hh"
 #include "os/hotplug.hh"
+#include "../test_support.hh"
 
 namespace emv::os {
 namespace {
@@ -68,6 +69,19 @@ class BalloonTest : public ::testing::Test
     GuestOs os;
     FakeBackend backend;
 };
+
+TEST_F(BalloonTest, CheckpointRoundTripPreservesPinnedPages)
+{
+    BalloonDriver a(os, backend);
+    a.inflate(2 * MiB);
+    const auto bytes = emv::test::ckptBytes(a);
+
+    BalloonDriver b(os, backend);
+    ASSERT_TRUE(emv::test::ckptRestore(bytes, b));
+    EXPECT_EQ(emv::test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.inflatedBytes(), 2 * MiB);
+    EXPECT_EQ(b.pinnedPages(), a.pinnedPages());
+}
 
 TEST_F(BalloonTest, InflateHandsPagesToVmm)
 {

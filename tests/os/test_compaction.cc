@@ -5,6 +5,7 @@
 #include "mem/phys_accessor.hh"
 #include "os/compaction.hh"
 #include "os/guest_os.hh"
+#include "../test_support.hh"
 
 namespace emv::os {
 namespace {
@@ -156,6 +157,19 @@ TEST_F(CompactionTest, SegmentCreationAfterCompaction)
     CompactionDaemon daemon(os);
     ASSERT_TRUE(daemon.createFreeRun(80 * MiB).has_value());
     EXPECT_TRUE(os.createGuestSegment(big).has_value());
+}
+
+TEST_F(CompactionTest, CheckpointRoundTripPreservesMigrations)
+{
+    makeLoadedProcess(128 * MiB);
+    CompactionDaemon a(os);
+    a.createFreeRun(16 * MiB);
+    const auto bytes = emv::test::ckptBytes(a);
+
+    CompactionDaemon b(os);
+    ASSERT_TRUE(emv::test::ckptRestore(bytes, b));
+    EXPECT_EQ(emv::test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.migratedPages(), a.migratedPages());
 }
 
 } // namespace

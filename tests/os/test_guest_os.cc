@@ -4,6 +4,7 @@
 
 #include "mem/phys_accessor.hh"
 #include "os/guest_os.hh"
+#include "../test_support.hh"
 
 namespace emv::os {
 namespace {
@@ -25,6 +26,32 @@ class GuestOsTest : public ::testing::Test
     mem::PhysMemory mem;
     mem::HostPhysAccessor accessor;
 };
+
+TEST_F(GuestOsTest, CheckpointRoundTripRequiresSameBootShape)
+{
+    auto a = makeOs();
+    auto &proc = a->createProcess();
+    a->defineRegion(proc, "heap", 1 * GiB, 16 * MiB,
+                    PageSize::Size4K);
+    a->populateRange(proc, 1 * GiB, 4 * MiB);
+    const auto bytes = test::ckptBytes(*a);
+
+    // Restore follows the fresh-boot path: same process roster,
+    // then deserialize overwrites the mutable state.
+    auto b = makeOs();
+    auto &bproc = b->createProcess();
+    b->defineRegion(bproc, "heap", 1 * GiB, 16 * MiB,
+                    PageSize::Size4K);
+    ASSERT_TRUE(test::ckptRestore(bytes, *b));
+    EXPECT_EQ(test::ckptBytes(*b), bytes);
+    EXPECT_EQ(b->buddy().freeBytes(), a->buddy().freeBytes());
+    EXPECT_EQ(bproc.pageTable().mappedLeaves(),
+              proc.pageTable().mappedLeaves());
+
+    // A different process roster is a structured failure.
+    auto c = makeOs();
+    EXPECT_FALSE(test::ckptRestore(bytes, *c));
+}
 
 TEST_F(GuestOsTest, BootRamIsFree)
 {

@@ -23,6 +23,25 @@ class PageTableTest : public ::testing::Test
     PageTable pt;
 };
 
+TEST_F(PageTableTest, CheckpointRoundTripSharesRadixFrames)
+{
+    pt.map(0x400000, 0x10000, PageSize::Size4K);
+    pt.map(0x40000000, 0x200000, PageSize::Size2M);
+    const auto bytes = test::ckptBytes(pt);
+
+    // The radix nodes themselves live in the MemSpace (checkpointed
+    // with physical memory); the table object only restores its
+    // root and counters, then walks the shared frames.
+    PageTable other(space);
+    ASSERT_TRUE(test::ckptRestore(bytes, other));
+    EXPECT_EQ(test::ckptBytes(other), bytes);
+    EXPECT_EQ(other.root(), pt.root());
+    EXPECT_EQ(other.mappedLeaves(), pt.mappedLeaves());
+    EXPECT_EQ(other.tableNodes(), pt.tableNodes());
+    EXPECT_EQ(other.translate(0x400123)->pa, 0x10123u);
+    EXPECT_EQ(other.translate(0x40012345)->pa, 0x212345u);
+}
+
 TEST_F(PageTableTest, FreshTableTranslatesNothing)
 {
     EXPECT_FALSE(pt.translate(0).has_value());

@@ -5,6 +5,7 @@
 #include "common/audit.hh"
 #include "common/rng.hh"
 #include "segment/escape_filter.hh"
+#include "../test_support.hh"
 
 namespace emv::segment {
 namespace {
@@ -199,6 +200,33 @@ TEST(EscapeFilterDeathTest, BadGeometryPanics)
 {
     EXPECT_DEATH(EscapeFilter(100, 4), "power of two");
     EXPECT_DEATH(EscapeFilter(256, 0), ">= 1 hash");
+}
+
+TEST(EscapeFilterTest, CheckpointRoundTripPreservesBits)
+{
+    EscapeFilter a;
+    Rng rng(5);
+    std::vector<Addr> pages;
+    for (int i = 0; i < 12; ++i)
+        pages.push_back(rng.nextBelow(1ull << 40) << 12);
+    for (Addr page : pages)
+        a.insertPage(page);
+    const auto bytes = test::ckptBytes(a);
+
+    EscapeFilter b;
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.insertedPages(), a.insertedPages());
+    EXPECT_EQ(b.popcount(), a.popcount());
+    for (Addr page : pages)
+        EXPECT_TRUE(b.mayContain(page));
+}
+
+TEST(EscapeFilterTest, CheckpointRejectsGeometryMismatch)
+{
+    EscapeFilter a(256, 2);
+    EscapeFilter b(512, 2);
+    EXPECT_FALSE(test::ckptRestore(test::ckptBytes(a), b));
 }
 
 } // namespace

@@ -1,0 +1,286 @@
+/** @file
+ * End-to-end checkpoint/restore tests: a run checkpointed midway
+ * and resumed in a fresh process-equivalent Machine must report
+ * bit-identical measured results to the uninterrupted run, for
+ * every translation mode; damaged or mismatched checkpoints must
+ * fail with structured errors, never undefined behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/experiment.hh"
+
+namespace emv::sim {
+namespace {
+
+constexpr double kScale = 0.02;
+constexpr std::uint64_t kWarmup = 20000;
+constexpr std::uint64_t kMeasure = 60000;
+
+RunParams
+smallParams()
+{
+    RunParams params;
+    params.warmupOps = kWarmup;
+    params.measureOps = kMeasure;
+    params.scale = kScale;
+    params.seed = 42;
+    return params;
+}
+
+/** A workload + machine pair built the way emvsim builds one. */
+struct Cell
+{
+    std::unique_ptr<workload::Workload> wl;
+    std::unique_ptr<Machine> machine;
+};
+
+Cell
+buildCell(const std::string &label)
+{
+    auto spec = specFromLabel(label);
+    EXPECT_TRUE(spec.has_value()) << label;
+    Cell cell;
+    cell.wl = workload::makeWorkload(workload::WorkloadKind::Gups,
+                                     42, kScale);
+    cell.machine = std::make_unique<Machine>(
+        makeMachineConfig(*spec, smallParams()), *cell.wl);
+    return cell;
+}
+
+CheckpointMeta
+metaFor(const std::string &label, std::uint64_t measured_done)
+{
+    CheckpointMeta meta;
+    meta.workload = "gups";
+    meta.configLabel = label;
+    meta.scale = kScale;
+    meta.seed = 42;
+    meta.warmupOps = kWarmup;
+    meta.measureOps = kMeasure;
+    meta.warmupDone = kWarmup;
+    meta.measuredOps = measured_done;
+    return meta;
+}
+
+std::string
+tempCkptPath(const std::string &stem)
+{
+    std::string name = stem;
+    for (char &c : name) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return (std::filesystem::path(testing::TempDir()) /
+            ("test-" + name + ".emvckpt"))
+        .string();
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+spit(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** Field-by-field exact equality: doubles must match bit-for-bit,
+ *  which is the whole point of deterministic resume. */
+void
+expectSameResult(const RunResult &got, const RunResult &want)
+{
+    EXPECT_EQ(got.accessOps, want.accessOps);
+    EXPECT_EQ(got.remapOps, want.remapOps);
+    EXPECT_EQ(got.baseCycles, want.baseCycles);
+    EXPECT_EQ(got.translationCycles, want.translationCycles);
+    EXPECT_EQ(got.faultCycles, want.faultCycles);
+    EXPECT_EQ(got.vmExitCycles, want.vmExitCycles);
+    EXPECT_EQ(got.shootdownCycles, want.shootdownCycles);
+    EXPECT_EQ(got.l1Misses, want.l1Misses);
+    EXPECT_EQ(got.l2Misses, want.l2Misses);
+    EXPECT_EQ(got.walks, want.walks);
+    EXPECT_EQ(got.guestFaults, want.guestFaults);
+    EXPECT_EQ(got.ddFastHits, want.ddFastHits);
+    EXPECT_EQ(got.dsFastHits, want.dsFastHits);
+    EXPECT_EQ(got.completed, want.completed);
+    EXPECT_EQ(got.cyclesPerWalk, want.cyclesPerWalk);
+    EXPECT_EQ(got.fractionBoth, want.fractionBoth);
+    EXPECT_EQ(got.fractionVmmOnly, want.fractionVmmOnly);
+    EXPECT_EQ(got.fractionGuestOnly, want.fractionGuestOnly);
+}
+
+/** One parameter per translation mode the paper evaluates. */
+class CheckpointModeTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CheckpointModeTest, MidwayCheckpointMatchesUninterrupted)
+{
+    const std::string label = GetParam();
+
+    // Control: warm up, measure in one uninterrupted interval.
+    auto control = buildCell(label);
+    control.machine->run(kWarmup);
+    control.machine->resetStats();
+    control.machine->run(kMeasure);
+    const RunResult want = control.machine->measuredResult();
+    ASSERT_TRUE(want.completed);
+
+    // Interrupted run: checkpoint halfway through measurement.
+    auto first = buildCell(label);
+    first.machine->run(kWarmup);
+    first.machine->resetStats();
+    first.machine->run(kMeasure / 2);
+    const std::string path = tempCkptPath(label);
+    std::string error;
+    ASSERT_TRUE(saveCheckpoint(path, metaFor(label, kMeasure / 2),
+                               *first.machine, error))
+        << error;
+
+    // Resume: fresh workload + machine from the same identity, then
+    // overwrite with the checkpoint and finish the measurement.
+    LoadedCheckpoint loaded;
+    ASSERT_TRUE(loadCheckpoint(path, loaded, error)) << error;
+    EXPECT_EQ(loaded.meta.configLabel, label);
+    EXPECT_EQ(loaded.meta.warmupDone, kWarmup);
+    EXPECT_EQ(loaded.meta.measuredOps, kMeasure / 2);
+    auto resumed = buildCell(label);
+    ASSERT_TRUE(restoreMachine(loaded, *resumed.machine, error))
+        << error;
+    resumed.machine->run(kMeasure - loaded.meta.measuredOps);
+    expectSameResult(resumed.machine->measuredResult(), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CheckpointModeTest,
+    ::testing::Values(std::string("4K+4K"), std::string("DD"),
+                      std::string("4K+VD"), std::string("4K+GD"),
+                      std::string("DS")),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+class CheckpointFileTest : public ::testing::Test
+{
+  protected:
+    /** Write a valid checkpoint and return its path. */
+    std::string
+    makeCheckpoint(const std::string &label, const char *stem)
+    {
+        auto cell = buildCell(label);
+        cell.machine->run(kWarmup);
+        cell.machine->resetStats();
+        cell.machine->run(kMeasure / 2);
+        const std::string path = tempCkptPath(stem);
+        std::string error;
+        EXPECT_TRUE(saveCheckpoint(path,
+                                   metaFor(label, kMeasure / 2),
+                                   *cell.machine, error))
+            << error;
+        return path;
+    }
+};
+
+TEST_F(CheckpointFileTest, CorruptPayloadIsRejectedWithCrcError)
+{
+    const std::string path = makeCheckpoint("4K+4K", "corrupt");
+    auto bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 16u);
+    bytes[bytes.size() - 5] ^= 0x40;  // Last chunk's payload tail.
+    spit(path, bytes);
+
+    LoadedCheckpoint loaded;
+    std::string error;
+    EXPECT_FALSE(loadCheckpoint(path, loaded, error));
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointFileTest, TruncatedFileIsRejected)
+{
+    const std::string path = makeCheckpoint("4K+4K", "truncated");
+    auto bytes = slurp(path);
+    bytes.resize(bytes.size() / 2);
+    spit(path, bytes);
+
+    LoadedCheckpoint loaded;
+    std::string error;
+    EXPECT_FALSE(loadCheckpoint(path, loaded, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(CheckpointFileTest, WrongVersionIsRejected)
+{
+    const std::string path = makeCheckpoint("4K+4K", "version");
+    auto bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 12u);
+    bytes[8] = static_cast<char>(ckpt::kVersion + 1);
+    spit(path, bytes);
+
+    LoadedCheckpoint loaded;
+    std::string error;
+    EXPECT_FALSE(loadCheckpoint(path, loaded, error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointFileTest, BadMagicIsRejected)
+{
+    const std::string path = makeCheckpoint("4K+4K", "magic");
+    auto bytes = slurp(path);
+    bytes[0] ^= 0xff;
+    spit(path, bytes);
+
+    LoadedCheckpoint loaded;
+    std::string error;
+    EXPECT_FALSE(loadCheckpoint(path, loaded, error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsRejected)
+{
+    LoadedCheckpoint loaded;
+    std::string error;
+    EXPECT_FALSE(loadCheckpoint(tempCkptPath("no-such-file"),
+                                loaded, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(CheckpointFileTest, CrossConfigRestoreFailsStructured)
+{
+    // A DS checkpoint into a machine built for DD: the layer shapes
+    // disagree, and restore must say so instead of half-applying.
+    const std::string path = makeCheckpoint("DS", "cross");
+    LoadedCheckpoint loaded;
+    std::string error;
+    ASSERT_TRUE(loadCheckpoint(path, loaded, error)) << error;
+
+    auto other = buildCell("DD");
+    EXPECT_FALSE(restoreMachine(loaded, *other.machine, error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace emv::sim

@@ -2,10 +2,37 @@
 
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "common/ckpt.hh"
 #include "mem/phys_memory.hh"
 #include "paging/page_table.hh"
 
 namespace emv::test {
+
+/** One layer's checkpoint state as raw encoder bytes. */
+template <typename T>
+std::vector<std::uint8_t>
+ckptBytes(const T &obj)
+{
+    ckpt::Encoder enc;
+    obj.serialize(enc);
+    return enc.buffer();
+}
+
+/**
+ * Restore @p obj from @p bytes; true only when deserialize succeeds
+ * and consumes the payload exactly (trailing bytes would mean the
+ * save and restore paths disagree about the layout).
+ */
+template <typename T>
+bool
+ckptRestore(const std::vector<std::uint8_t> &bytes, T &obj)
+{
+    ckpt::Decoder dec(bytes.data(), bytes.size());
+    return obj.deserialize(dec) && dec.ok() && dec.atEnd();
+}
 
 /**
  * Identity MemSpace over host memory with a bump allocator for

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "tlb/tlb.hh"
+#include "../test_support.hh"
 
 namespace emv::tlb {
 namespace {
@@ -164,6 +165,33 @@ TEST(TlbDeathTest, MisalignedFramePanics)
     EXPECT_DEATH(tlb.insert(EntryKind::Guest, 0x200000, 0x1000,
                             PageSize::Size2M),
                  "not aligned");
+}
+
+TEST(TlbTest, CheckpointRoundTripPreservesEntriesAndLru)
+{
+    Tlb a("t", 1, 2);  // Single set so LRU order is observable.
+    a.insert(EntryKind::Guest, 0x1000, 0xa000, PageSize::Size4K);
+    a.insert(EntryKind::Guest, 0x2000, 0xb000, PageSize::Size4K);
+    a.lookup(EntryKind::Guest, 0x1000, PageSize::Size4K);
+    const auto bytes = test::ckptBytes(a);
+
+    Tlb b("t", 1, 2);
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    // The restored LRU clock must evict the same victim the saved
+    // TLB would: 0x2000 is least recently used.
+    b.insert(EntryKind::Guest, 0x3000, 0xc000, PageSize::Size4K);
+    EXPECT_TRUE(b.lookup(EntryKind::Guest, 0x1000,
+                         PageSize::Size4K).has_value());
+    EXPECT_FALSE(b.lookup(EntryKind::Guest, 0x2000,
+                          PageSize::Size4K).has_value());
+}
+
+TEST(TlbTest, CheckpointRejectsGeometryMismatch)
+{
+    Tlb a("t", 16, 4);
+    Tlb b("t", 8, 4);
+    EXPECT_FALSE(test::ckptRestore(test::ckptBytes(a), b));
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "tlb/tlb_hierarchy.hh"
+#include "../test_support.hh"
 
 namespace emv::tlb {
 namespace {
@@ -126,6 +127,23 @@ TEST(TlbHierarchyTest, DefaultGeometryMatchesTableVI)
                   tlbs.l1For(PageSize::Size1G).ways(),
               4u);
     EXPECT_EQ(tlbs.l2().sets() * tlbs.l2().ways(), 512u);
+}
+
+TEST(TlbHierarchyTest, CheckpointRoundTrip)
+{
+    TlbHierarchy a;
+    a.insertGuest(0x1000, 0xa000, PageSize::Size4K);
+    a.insertGuest(0x80000000, 0x200000, PageSize::Size2M);
+    a.insertNested(0x5000, 0xb000, PageSize::Size4K);
+    a.lookupL1(0x1000);
+    const auto bytes = test::ckptBytes(a);
+
+    TlbHierarchy b;
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.lookupL1(0x1000)->frame, 0xa000u);
+    EXPECT_EQ(b.lookupL1(0x80000100)->size, PageSize::Size2M);
+    EXPECT_EQ(b.lookupNested(0x5000)->frame, 0xb000u);
 }
 
 } // namespace

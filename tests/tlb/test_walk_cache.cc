@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "tlb/walk_cache.hh"
+#include "../test_support.hh"
 
 namespace emv::tlb {
 namespace {
@@ -107,6 +108,44 @@ TEST(LineCacheTest, StatsTrackHitRatio)
     cache.access(0x1000);
     EXPECT_EQ(cache.stats().counterValue("misses"), 1u);
     EXPECT_EQ(cache.stats().counterValue("hits"), 2u);
+}
+
+TEST(WalkCacheTest, CheckpointRoundTrip)
+{
+    WalkCache a(4, 4);
+    a.insert(WalkCache::key(2, 0x40000000), 0xbeef000);
+    a.insert(WalkCache::key(3, 0), 0x1000);
+    a.lookup(WalkCache::key(2, 0x40000000));
+    const auto bytes = test::ckptBytes(a);
+
+    WalkCache b(4, 4);
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(*b.lookup(WalkCache::key(2, 0x40000000)), 0xbeef000u);
+    EXPECT_EQ(*b.lookup(WalkCache::key(3, 0)), 0x1000u);
+}
+
+TEST(WalkCacheTest, CheckpointRejectsGeometryMismatch)
+{
+    WalkCache a(4, 4);
+    WalkCache b(8, 4);
+    EXPECT_FALSE(test::ckptRestore(test::ckptBytes(a), b));
+}
+
+TEST(LineCacheTest, CheckpointRoundTrip)
+{
+    LineCache a(16, 4);
+    a.access(0x1000);
+    a.access(0x2040);
+    const auto bytes = test::ckptBytes(a);
+
+    LineCache b(16, 4);
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    // Lines resident in the saved cache hit in the restored one.
+    EXPECT_TRUE(b.access(0x1000));
+    EXPECT_TRUE(b.access(0x2040));
+    EXPECT_FALSE(b.access(0x9000));
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "vmm/backing_map.hh"
+#include "../test_support.hh"
 
 namespace emv::vmm {
 namespace {
@@ -120,6 +121,23 @@ TEST(BackingMapDeathTest, OverlappingAddPanics)
     BackingMap map;
     map.add(0, 0x4000, 0x10000);
     EXPECT_DEATH(map.add(0x2000, 0x1000, 0x50000), "overlaps");
+}
+
+TEST(BackingMapTest, CheckpointRoundTripReplacesContents)
+{
+    BackingMap a;
+    a.add(0, 0x2000, 0x10000);
+    a.add(0x8000, 0x1000, 0x40000);
+    const auto bytes = test::ckptBytes(a);
+
+    BackingMap b;
+    b.add(0x100000, 0x1000, 0x90000);  // Stale; replaced.
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.extentCount(), 2u);
+    EXPECT_EQ(b.toHpa(0x1008).value(), 0x11008u);
+    EXPECT_EQ(b.toHpa(0x8000).value(), 0x40000u);
+    EXPECT_FALSE(b.toHpa(0x100000).has_value());
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "vmm/memory_slots.hh"
+#include "../test_support.hh"
 
 namespace emv::vmm {
 namespace {
@@ -76,6 +77,21 @@ TEST(MemorySlotsDeathTest, ExtensionCollisionPanics)
     slots.addSlot("a", 0, 1 * GiB, 0);
     slots.addSlot("b", 1 * GiB, 1 * GiB, 0x100000000);
     EXPECT_DEATH(slots.extendSlot("a", 1 * GiB), "collides");
+}
+
+TEST(MemorySlotsTest, CheckpointRoundTrip)
+{
+    MemorySlots a;
+    a.addSlot("low", 0, 1 * GiB, 0x100000000000);
+    a.addSlot("high", 4 * GiB, 2 * GiB, 0x200000000000);
+    const auto bytes = test::ckptBytes(a);
+
+    MemorySlots b;
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    ASSERT_EQ(b.slots().size(), 2u);
+    EXPECT_EQ(b.gpaToHva(0x123).value(), 0x100000000123u);
+    EXPECT_EQ(b.find("high")->bytes, 2 * GiB);
 }
 
 } // namespace

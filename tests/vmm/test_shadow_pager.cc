@@ -6,6 +6,7 @@
 #include "paging/walker.hh"
 #include "vmm/shadow_pager.hh"
 #include "vmm/vmm.hh"
+#include "../test_support.hh"
 
 namespace emv::vmm {
 namespace {
@@ -37,6 +38,30 @@ class ShadowPagerTest : public ::testing::Test
     std::unique_ptr<os::GuestOs> os;
     os::Process *proc;
 };
+
+TEST_F(ShadowPagerTest, CheckpointRoundTripPreservesShadowTable)
+{
+    os->populateRange(*proc, 1 * GiB, 1 * MiB);
+    ShadowPager a(*vm, *proc);
+    a.rebuildAll();
+    const auto bytes = test::ckptBytes(a);
+
+    ShadowPager b(*vm, *proc);
+    ASSERT_TRUE(test::ckptRestore(bytes, b));
+    EXPECT_EQ(test::ckptBytes(b), bytes);
+    EXPECT_EQ(b.shadowRoot(), a.shadowRoot());
+    EXPECT_EQ(b.syncExits(), a.syncExits());
+
+    // The restored shadow table still composes both dimensions.
+    paging::Walker walker(host);
+    paging::WalkTrace trace;
+    auto out = walker.walk(b.shadowRoot(), 1 * GiB,
+                           paging::RefStage::ShadowTable, trace);
+    ASSERT_TRUE(out.ok);
+    auto guest = proc->pageTable().translate(1 * GiB);
+    ASSERT_TRUE(guest.has_value());
+    EXPECT_EQ(out.pa, vm->gpaToHpa(guest->pa).value());
+}
 
 TEST_F(ShadowPagerTest, RebuildComposesGuestAndNested)
 {

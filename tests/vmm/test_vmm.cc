@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "vmm/vmm.hh"
+#include "../test_support.hh"
 
 namespace emv::vmm {
 namespace {
@@ -33,6 +34,30 @@ class VmmTest : public ::testing::Test
     mem::PhysMemory host;
     Vmm vmm;
 };
+
+TEST_F(VmmTest, CheckpointRoundTripRequiresSameVmRoster)
+{
+    auto &vm = vmm.createVm("a", smallVmConfig());
+    vm.guestPhys().write64(50 * MiB, 0x1234'5678u);
+    const auto bytes = test::ckptBytes(vmm);
+
+    // Restore follows the fresh-boot path: recreate the same VMs,
+    // then deserialize overwrites backing, nested tables and stats.
+    // (Frame *contents* live in PhysMemory, which the Machine layer
+    // checkpoints separately — only the mappings are checked here.)
+    mem::PhysMemory host2(kHostRam);
+    Vmm other(host2, kHostRam);
+    auto &vm2 = other.createVm("a", smallVmConfig());
+    ASSERT_TRUE(test::ckptRestore(bytes, other));
+    EXPECT_EQ(test::ckptBytes(other), bytes);
+    EXPECT_EQ(vm2.gpaToHpa(50 * MiB), vm.gpaToHpa(50 * MiB));
+    EXPECT_EQ(vm2.vmExits(), vm.vmExits());
+
+    // A different VM roster is a structured failure.
+    mem::PhysMemory host3(kHostRam);
+    Vmm empty(host3, kHostRam);
+    EXPECT_FALSE(test::ckptRestore(bytes, empty));
+}
 
 TEST_F(VmmTest, EagerBackingCoversAllRam)
 {

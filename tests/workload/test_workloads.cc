@@ -6,6 +6,7 @@
 #include <set>
 
 #include "workload/workload.hh"
+#include "../test_support.hh"
 
 namespace emv::workload {
 namespace {
@@ -103,6 +104,31 @@ TEST_P(WorkloadPropertyTest, BigMemoryWorkloadsHavePrimaryRegion)
     // Every workload declares one primary region (compute workloads
     // have heaps too; DS suitability is a policy question).
     EXPECT_TRUE(has_primary);
+}
+
+TEST_P(WorkloadPropertyTest, CheckpointRoundTripResumesStream)
+{
+    auto a = makeWorkload(GetParam(), 7, 0.02);
+    bind(*a);
+    for (int i = 0; i < 5000; ++i)
+        a->next();
+    const auto bytes = test::ckptBytes(*a);
+
+    // Restore into a freshly-constructed, freshly-bound generator:
+    // the op stream must continue exactly where the original left
+    // off, including churn/remap phase state.
+    auto b = makeWorkload(GetParam(), 7, 0.02);
+    bind(*b);
+    ASSERT_TRUE(test::ckptRestore(bytes, *b));
+    EXPECT_EQ(test::ckptBytes(*b), bytes);
+    for (int i = 0; i < 2000; ++i) {
+        const Op oa = a->next();
+        const Op ob = b->next();
+        ASSERT_EQ(static_cast<int>(oa.kind),
+                  static_cast<int>(ob.kind)) << "op " << i;
+        ASSERT_EQ(oa.va, ob.va) << "op " << i;
+        ASSERT_EQ(oa.bytes, ob.bytes) << "op " << i;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

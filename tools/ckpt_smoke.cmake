@@ -1,0 +1,117 @@
+# Checkpoint/resume smoke harness, run as a CTest via `cmake -P`.
+#
+#   cmake -DMODE=<killresume|exitcodes|fleet> -DEMVSIM=<path>
+#         -DWORKDIR=<scratch dir> [-DEMV_FLEET=<path>]
+#         [-DJSON_CHECK=<path>] -P ckpt_smoke.cmake
+#
+# MODE=killresume  a run SIGKILLed mid-measurement and resumed from
+#                  its checkpoint must emit stats JSON byte-identical
+#                  to the uninterrupted control run.
+# MODE=exitcodes   pins the emvsim exit-code contract: 0 completed,
+#                  1 usage error, 2 terminal fault, 3 interrupted.
+# MODE=fleet       emv_fleet must recover a deterministically
+#                  crashing shard by retrying from its checkpoint and
+#                  produce a valid emv-fleet-v1 report.
+
+foreach(var MODE EMVSIM WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "ckpt_smoke.cmake: ${var} is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Small but representative run: memcached-style churn would also
+# work, but gups keeps the smoke fast while still exercising remaps.
+set(RUN_ARGS workload=gups config=DD scale=0.05
+    ops=60000 warmup=20000 stats=0)
+
+# Runs a command and checks its exit status.  EXPECT may be a number
+# or "nonzero" (for the SIGKILL case, where CMake reports the signal
+# as a non-numeric result string).
+function(run_step name expect)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(expect STREQUAL "nonzero")
+    if(rc STREQUAL "0")
+      message(FATAL_ERROR "${name}: expected failure, got exit 0\n"
+                          "stdout:\n${out}\nstderr:\n${err}")
+    endif()
+  elseif(NOT rc STREQUAL "${expect}")
+    message(FATAL_ERROR "${name}: expected exit ${expect}, got "
+                        "'${rc}'\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "${name}: exit '${rc}' as expected")
+endfunction()
+
+if(MODE STREQUAL "killresume")
+  # audit=1 keeps the differential auditor live across the resume
+  # and makes both runs register identical stat groups (a restored
+  # run always carries the checkpoint's audit counters).
+  run_step(control 0
+           ${EMVSIM} ${RUN_ARGS} audit=1
+           statsjson=${WORKDIR}/control.json)
+
+  # crashafter raises SIGKILL mid-measurement; the periodic
+  # checkpoints written before the crash are the recovery point.
+  run_step(crashed nonzero
+           ${EMVSIM} ${RUN_ARGS} audit=1
+           ckpt=${WORKDIR}/run.ckpt ckptevery=25000
+           crashafter=50000)
+  if(NOT EXISTS "${WORKDIR}/run.ckpt")
+    message(FATAL_ERROR "no checkpoint survived the crash")
+  endif()
+
+  run_step(resumed 0
+           ${EMVSIM} resume=${WORKDIR}/run.ckpt stats=0
+           statsjson=${WORKDIR}/resumed.json)
+
+  run_step(identical 0
+           ${CMAKE_COMMAND} -E compare_files
+           ${WORKDIR}/control.json ${WORKDIR}/resumed.json)
+
+elseif(MODE STREQUAL "exitcodes")
+  run_step(usage_error 1 ${EMVSIM} workload=gups bogus=1)
+
+  run_step(terminal_fault 2
+           ${EMVSIM} ${RUN_ARGS} faults=dram@30000 policy=failfast)
+
+  run_step(interrupted 3
+           ${EMVSIM} ${RUN_ARGS} ckpt=${WORKDIR}/stop.ckpt
+           stopafter=40000)
+
+  run_step(completed 0
+           ${EMVSIM} resume=${WORKDIR}/stop.ckpt stats=0)
+
+elseif(MODE STREQUAL "fleet")
+  foreach(var EMV_FLEET JSON_CHECK)
+    if(NOT DEFINED ${var})
+      message(FATAL_ERROR "ckpt_smoke.cmake: ${var} is required "
+                          "for MODE=fleet")
+    endif()
+  endforeach()
+
+  # The shard's first attempt crashes deterministically at op 50000;
+  # the supervisor must retry it, resume from the op-25000/50000
+  # checkpoint, and finish with every shard completed.
+  run_step(fleet 0
+           ${EMV_FLEET} emvsim=${EMVSIM} outdir=${WORKDIR}/fleet
+           workloads=gups configs=4K+4K seeds=42 jobs=1
+           scale=0.05 ops=60000 warmup=20000 ckptevery=25000
+           crashafter=50000 timeout=60 retries=2 backoffms=50)
+
+  run_step(fleet_report_valid 0
+           ${JSON_CHECK} ${WORKDIR}/fleet/fleet.json)
+
+  file(READ "${WORKDIR}/fleet/fleet.json" report)
+  if(NOT report MATCHES "\"retried\": *[1-9]")
+    message(FATAL_ERROR "fleet report does not record the retry:\n"
+                        "${report}")
+  endif()
+
+else()
+  message(FATAL_ERROR "ckpt_smoke.cmake: unknown MODE '${MODE}'")
+endif()

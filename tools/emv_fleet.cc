@@ -1,0 +1,608 @@
+/**
+ * @file
+ * emv_fleet — supervised shard runner for emvsim sweeps.
+ *
+ * Shards the workloads × configs × seeds matrix across N concurrent
+ * emvsim child processes and babysits them:
+ *
+ *   - each shard runs with `ckpt=` so progress survives crashes;
+ *   - a per-shard watchdog SIGKILLs children that stop producing
+ *     exits within `timeout=` seconds (hung shard);
+ *   - failed shards (non-zero exit, crash signal, or hang) are
+ *     retried with exponential backoff, resuming from the last good
+ *     checkpoint when one exists;
+ *   - a shard that fails `retries`+1 consecutive times is
+ *     quarantined and no longer scheduled;
+ *   - a merged emv-fleet-v1 JSON report records every shard's
+ *     outcome, attempts and artifact paths.
+ *
+ * Usage:
+ *   emv_fleet [workloads=gups,...] [configs=4K+4K,...] [seeds=42,...]
+ *             [jobs=2] [outdir=fleet-out] [report=<outdir>/fleet.json]
+ *             [emvsim=PATH] [timeout=300] [retries=2] [backoffms=200]
+ *             [scale=0.25] [ops=1000000] [warmup=200000]
+ *             [ckptevery=0] [audit=0] [faults=SPEC] [policy=degrade]
+ *             [faultseed=7] [crashafter=N] [hangafter=N]
+ *
+ * `crashafter`/`hangafter` are forwarded to each shard's FIRST
+ * attempt only (deterministic failure injection for tests); retries
+ * run clean and recover from the checkpoint.
+ *
+ * Exit code: 0 when every shard completed, 1 otherwise (including
+ * usage errors).
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+struct Knob
+{
+    const char *key;
+    const char *help;
+};
+
+constexpr Knob kKnobs[] = {
+    {"workloads", "CSV of workloads to shard (default gups)"},
+    {"configs", "CSV of config labels (default 4K+4K)"},
+    {"seeds", "CSV of seeds (default 42)"},
+    {"jobs", "max concurrent shards (default 2)"},
+    {"outdir", "checkpoints, logs and stats go here "
+               "(default fleet-out)"},
+    {"report", "emv-fleet-v1 JSON report path "
+               "(default <outdir>/fleet.json)"},
+    {"emvsim", "emvsim binary (default: next to emv_fleet)"},
+    {"timeout", "per-shard watchdog seconds, 0 = off (default 300)"},
+    {"retries", "retry attempts per shard before quarantine "
+                "(default 2)"},
+    {"backoffms", "base retry backoff in ms, doubled per attempt "
+                  "(default 200)"},
+    {"scale", "forwarded to emvsim (default 0.25)"},
+    {"ops", "forwarded to emvsim (default 1000000)"},
+    {"warmup", "forwarded to emvsim (default 200000)"},
+    {"ckptevery", "forwarded to emvsim (default 0: checkpoint only "
+                  "on interrupt/completion)"},
+    {"audit", "forwarded to emvsim (default 0)"},
+    {"faults", "forwarded to emvsim"},
+    {"policy", "forwarded to emvsim"},
+    {"faultseed", "forwarded to emvsim"},
+    {"crashafter", "forwarded to each shard's first attempt only"},
+    {"hangafter", "forwarded to each shard's first attempt only"},
+};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(out, "usage: emv_fleet [key=value]...\n\n");
+    for (const auto &knob : kKnobs)
+        std::fprintf(out, "  %-10s %s\n", knob.key, knob.help);
+    std::fprintf(out, "\nexit codes: 0 all shards completed, "
+                      "1 otherwise\n");
+}
+
+bool
+knownKey(const std::string &key)
+{
+    for (const auto &knob : kKnobs) {
+        if (key == knob.key)
+            return true;
+    }
+    return false;
+}
+
+const char *
+argValue(int argc, char **argv, const char *key)
+{
+    const std::size_t len = std::strlen(key);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], key, len) == 0 &&
+            argv[i][len] == '=') {
+            return argv[i] + len + 1;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const auto comma = csv.find(',', pos);
+        const auto end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > pos)
+            out.push_back(csv.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+double
+monotonicSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return stat(path.c_str(), &st) == 0;
+}
+
+/** Minimal JSON string escaping for the report. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+enum class ShardState {
+    Pending,    //!< Waiting for a slot (or for its backoff to end).
+    Running,
+    Completed,  //!< emvsim exit 0.
+    Terminal,   //!< emvsim exit 2: deterministic terminal fault.
+    Quarantined //!< Failed retries+1 consecutive times.
+};
+
+const char *
+shardStateName(ShardState state)
+{
+    switch (state) {
+      case ShardState::Pending: return "pending";
+      case ShardState::Running: return "running";
+      case ShardState::Completed: return "completed";
+      case ShardState::Terminal: return "terminal";
+      case ShardState::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+struct Shard
+{
+    unsigned id = 0;
+    std::string workload;
+    std::string config;
+    std::string seed;
+
+    ShardState state = ShardState::Pending;
+    unsigned attempts = 0;     //!< Attempts started so far.
+    unsigned hangs = 0;        //!< Watchdog kills.
+    unsigned resumes = 0;      //!< Retries that resumed a checkpoint.
+    int lastExit = -1;         //!< Last exit code (or 128+signal).
+
+    pid_t pid = -1;
+    double deadline = 0.0;     //!< Watchdog deadline (monotonic).
+    double notBefore = 0.0;    //!< Backoff gate for the next attempt.
+
+    std::string ckptPath;
+    std::string statsPath;
+    std::string logPath;
+};
+
+struct FleetOptions
+{
+    std::string emvsimPath;
+    std::string outdir = "fleet-out";
+    std::string reportPath;
+    unsigned jobs = 2;
+    unsigned retries = 2;
+    double timeoutSec = 300.0;
+    std::uint64_t backoffMs = 200;
+
+    // Forwarded per-shard emvsim knobs.
+    std::string scale = "0.25";
+    std::string ops = "1000000";
+    std::string warmup = "200000";
+    std::string ckptevery = "0";
+    std::string audit = "0";
+    std::string faults;
+    std::string policy;
+    std::string faultseed;
+    std::string crashafter;  //!< First attempt only.
+    std::string hangafter;   //!< First attempt only.
+};
+
+/** Fork + exec one attempt; returns the child pid or -1. */
+pid_t
+spawnShard(const FleetOptions &opts, Shard &shard, bool resume)
+{
+    std::vector<std::string> args;
+    args.push_back(opts.emvsimPath);
+    if (resume) {
+        args.push_back("resume=" + shard.ckptPath);
+    } else {
+        args.push_back("workload=" + shard.workload);
+        args.push_back("config=" + shard.config);
+        args.push_back("seed=" + shard.seed);
+        args.push_back("scale=" + opts.scale);
+        args.push_back("ops=" + opts.ops);
+        args.push_back("warmup=" + opts.warmup);
+        if (opts.audit != "0")
+            args.push_back("audit=" + opts.audit);
+        if (!opts.faults.empty())
+            args.push_back("faults=" + opts.faults);
+        if (!opts.policy.empty())
+            args.push_back("policy=" + opts.policy);
+        if (!opts.faultseed.empty())
+            args.push_back("faultseed=" + opts.faultseed);
+        if (shard.attempts == 0) {
+            if (!opts.crashafter.empty())
+                args.push_back("crashafter=" + opts.crashafter);
+            if (!opts.hangafter.empty())
+                args.push_back("hangafter=" + opts.hangafter);
+        }
+    }
+    args.push_back("ckpt=" + shard.ckptPath);
+    if (opts.ckptevery != "0")
+        args.push_back("ckptevery=" + opts.ckptevery);
+    args.push_back("statsjson=" + shard.statsPath);
+    args.push_back("stats=0");
+
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (auto &arg : args)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::fprintf(stderr, "emv_fleet: fork failed: %s\n",
+                     std::strerror(errno));
+        return -1;
+    }
+    if (pid == 0) {
+        const int fd = open(shard.logPath.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd >= 0) {
+            dup2(fd, STDOUT_FILENO);
+            dup2(fd, STDERR_FILENO);
+            close(fd);
+        }
+        execv(argv[0], argv.data());
+        std::fprintf(stderr, "emv_fleet: exec '%s' failed: %s\n",
+                     argv[0], std::strerror(errno));
+        _exit(127);
+    }
+    return pid;
+}
+
+bool
+writeReport(const FleetOptions &opts,
+            const std::vector<Shard> &shards)
+{
+    const std::string tmp = opts.reportPath + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "emv_fleet: cannot write '%s': %s\n",
+                     tmp.c_str(), std::strerror(errno));
+        return false;
+    }
+
+    unsigned completed = 0, terminal = 0, quarantined = 0;
+    unsigned retried = 0;
+    for (const auto &shard : shards) {
+        completed += shard.state == ShardState::Completed;
+        terminal += shard.state == ShardState::Terminal;
+        quarantined += shard.state == ShardState::Quarantined;
+        retried += shard.attempts > 1;
+    }
+
+    std::fprintf(out, "{\n  \"schema\": \"emv-fleet-v1\",\n");
+    std::fprintf(out, "  \"generator\": \"emv_fleet\",\n");
+    std::fprintf(out, "  \"jobs\": %u,\n", opts.jobs);
+    std::fprintf(out, "  \"shards\": [\n");
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const Shard &s = shards[i];
+        std::fprintf(
+            out,
+            "    {\"id\": %u, \"workload\": \"%s\", "
+            "\"config\": \"%s\", \"seed\": %s, "
+            "\"status\": \"%s\", \"attempts\": %u, "
+            "\"hangs\": %u, \"resumes\": %u, "
+            "\"exit_code\": %d, "
+            "\"stats_json\": \"%s\", \"log\": \"%s\"}%s\n",
+            s.id, jsonEscape(s.workload).c_str(),
+            jsonEscape(s.config).c_str(), s.seed.c_str(),
+            shardStateName(s.state), s.attempts, s.hangs,
+            s.resumes, s.lastExit, jsonEscape(s.statsPath).c_str(),
+            jsonEscape(s.logPath).c_str(),
+            i + 1 < shards.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"summary\": {\"total\": %zu, "
+                 "\"completed\": %u, \"terminal\": %u, "
+                 "\"quarantined\": %u, \"retried\": %u}\n",
+                 shards.size(), completed, terminal, quarantined,
+                 retried);
+    std::fprintf(out, "}\n");
+    if (std::fclose(out) != 0)
+        return false;
+    if (std::rename(tmp.c_str(), opts.reportPath.c_str()) != 0) {
+        std::fprintf(stderr, "emv_fleet: cannot rename '%s': %s\n",
+                     tmp.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h" || arg == "help") {
+            printUsage(stdout);
+            return 0;
+        }
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos ||
+            !knownKey(arg.substr(0, eq))) {
+            std::fprintf(stderr,
+                         "emv_fleet: bad argument '%s'\n\n",
+                         arg.c_str());
+            printUsage(stderr);
+            return 1;
+        }
+    }
+
+    FleetOptions opts;
+    const std::string workloads_csv =
+        argValue(argc, argv, "workloads") ?: "gups";
+    const std::string configs_csv =
+        argValue(argc, argv, "configs") ?: "4K+4K";
+    const std::string seeds_csv =
+        argValue(argc, argv, "seeds") ?: "42";
+    if (const char *v = argValue(argc, argv, "jobs"))
+        opts.jobs = std::max(1, std::atoi(v));
+    if (const char *v = argValue(argc, argv, "outdir"))
+        opts.outdir = v;
+    if (const char *v = argValue(argc, argv, "timeout"))
+        opts.timeoutSec = std::atof(v);
+    if (const char *v = argValue(argc, argv, "retries"))
+        opts.retries = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = argValue(argc, argv, "backoffms"))
+        opts.backoffMs = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "scale"))
+        opts.scale = v;
+    if (const char *v = argValue(argc, argv, "ops"))
+        opts.ops = v;
+    if (const char *v = argValue(argc, argv, "warmup"))
+        opts.warmup = v;
+    if (const char *v = argValue(argc, argv, "ckptevery"))
+        opts.ckptevery = v;
+    if (const char *v = argValue(argc, argv, "audit"))
+        opts.audit = v;
+    if (const char *v = argValue(argc, argv, "faults"))
+        opts.faults = v;
+    if (const char *v = argValue(argc, argv, "policy"))
+        opts.policy = v;
+    if (const char *v = argValue(argc, argv, "faultseed"))
+        opts.faultseed = v;
+    if (const char *v = argValue(argc, argv, "crashafter"))
+        opts.crashafter = v;
+    if (const char *v = argValue(argc, argv, "hangafter"))
+        opts.hangafter = v;
+
+    if (const char *v = argValue(argc, argv, "emvsim")) {
+        opts.emvsimPath = v;
+    } else {
+        std::string self = argv[0];
+        const auto slash = self.rfind('/');
+        opts.emvsimPath =
+            slash == std::string::npos
+                ? std::string("./emvsim")
+                : self.substr(0, slash + 1) + "emvsim";
+    }
+    opts.reportPath = argValue(argc, argv, "report")
+                          ?: opts.outdir + "/fleet.json";
+
+    if (mkdir(opts.outdir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::fprintf(stderr,
+                     "emv_fleet: cannot create outdir '%s': %s\n",
+                     opts.outdir.c_str(), std::strerror(errno));
+        return 1;
+    }
+    if (!fileExists(opts.emvsimPath)) {
+        std::fprintf(stderr, "emv_fleet: emvsim binary '%s' not "
+                     "found (use emvsim=PATH)\n",
+                     opts.emvsimPath.c_str());
+        return 1;
+    }
+
+    std::vector<Shard> shards;
+    for (const auto &wl : splitCsv(workloads_csv)) {
+        for (const auto &config : splitCsv(configs_csv)) {
+            for (const auto &seed : splitCsv(seeds_csv)) {
+                Shard shard;
+                shard.id = static_cast<unsigned>(shards.size());
+                shard.workload = wl;
+                shard.config = config;
+                shard.seed = seed;
+                const std::string stem =
+                    opts.outdir + "/shard-" +
+                    std::to_string(shard.id);
+                shard.ckptPath = stem + ".ckpt";
+                shard.statsPath = stem + "-stats.json";
+                shard.logPath = stem + ".log";
+                shards.push_back(shard);
+            }
+        }
+    }
+    if (shards.empty()) {
+        std::fprintf(stderr, "emv_fleet: empty shard matrix\n");
+        return 1;
+    }
+    std::printf("emv_fleet: %zu shard(s), %u job(s), emvsim=%s\n",
+                shards.size(), opts.jobs, opts.emvsimPath.c_str());
+
+    const auto recordFailure = [&](Shard &shard, const char *why) {
+        std::printf("shard %u (%s/%s/seed=%s): attempt %u %s\n",
+                    shard.id, shard.workload.c_str(),
+                    shard.config.c_str(), shard.seed.c_str(),
+                    shard.attempts, why);
+        if (shard.attempts > opts.retries) {
+            shard.state = ShardState::Quarantined;
+            std::printf("shard %u: quarantined after %u "
+                        "consecutive failures\n",
+                        shard.id, shard.attempts);
+            return;
+        }
+        // Exponential backoff: base * 2^(attempt-1).
+        const double backoff =
+            static_cast<double>(opts.backoffMs) * 1e-3 *
+            static_cast<double>(1ull << (shard.attempts - 1));
+        shard.state = ShardState::Pending;
+        shard.notBefore = monotonicSeconds() + backoff;
+    };
+
+    unsigned running = 0;
+    for (;;) {
+        // Reap every exited child without blocking.
+        int status = 0;
+        pid_t pid;
+        while ((pid = waitpid(-1, &status, WNOHANG)) > 0) {
+            const auto it = std::find_if(
+                shards.begin(), shards.end(),
+                [&](const Shard &s) { return s.pid == pid; });
+            if (it == shards.end())
+                continue;
+            Shard &shard = *it;
+            shard.pid = -1;
+            --running;
+            if (WIFEXITED(status)) {
+                shard.lastExit = WEXITSTATUS(status);
+                if (shard.lastExit == 0) {
+                    shard.state = ShardState::Completed;
+                    std::printf("shard %u (%s/%s/seed=%s): "
+                                "completed (attempt %u)\n",
+                                shard.id, shard.workload.c_str(),
+                                shard.config.c_str(),
+                                shard.seed.c_str(), shard.attempts);
+                } else if (shard.lastExit == 2) {
+                    // Deterministic terminal fault: retrying would
+                    // reproduce it, so record and move on.
+                    shard.state = ShardState::Terminal;
+                    std::printf("shard %u: terminal fault "
+                                "(exit 2)\n", shard.id);
+                } else {
+                    recordFailure(shard, "failed");
+                }
+            } else if (WIFSIGNALED(status)) {
+                shard.lastExit = 128 + WTERMSIG(status);
+                recordFailure(shard, "crashed");
+            }
+        }
+
+        // Watchdog: kill shards that blew their deadline.
+        const double now = monotonicSeconds();
+        for (auto &shard : shards) {
+            if (shard.state != ShardState::Running ||
+                opts.timeoutSec <= 0.0 || now < shard.deadline) {
+                continue;
+            }
+            std::printf("shard %u: watchdog timeout after %.0fs; "
+                        "killing pid %d\n",
+                        shard.id, opts.timeoutSec,
+                        static_cast<int>(shard.pid));
+            ++shard.hangs;
+            kill(shard.pid, SIGKILL);
+            // The exit is reaped (and retried) on the next pass.
+        }
+
+        // Schedule pending shards into free slots.
+        for (auto &shard : shards) {
+            if (running >= opts.jobs)
+                break;
+            if (shard.state != ShardState::Pending ||
+                now < shard.notBefore) {
+                continue;
+            }
+            const bool resume = shard.attempts > 0 &&
+                                fileExists(shard.ckptPath);
+            const pid_t child = spawnShard(opts, shard, resume);
+            if (child < 0) {
+                ++shard.attempts;
+                recordFailure(shard, "failed to spawn");
+                continue;
+            }
+            ++shard.attempts;
+            shard.resumes += resume;
+            shard.pid = child;
+            shard.state = ShardState::Running;
+            shard.deadline = now + opts.timeoutSec;
+            ++running;
+            std::printf("shard %u (%s/%s/seed=%s): attempt %u "
+                        "%s (pid %d)\n",
+                        shard.id, shard.workload.c_str(),
+                        shard.config.c_str(), shard.seed.c_str(),
+                        shard.attempts,
+                        resume ? "resuming" : "started",
+                        static_cast<int>(child));
+        }
+
+        const bool done = std::all_of(
+            shards.begin(), shards.end(), [](const Shard &s) {
+                return s.state == ShardState::Completed ||
+                       s.state == ShardState::Terminal ||
+                       s.state == ShardState::Quarantined;
+            });
+        if (done)
+            break;
+
+        timespec nap{0, 50 * 1000 * 1000};  // 50 ms.
+        nanosleep(&nap, nullptr);
+    }
+
+    if (!writeReport(opts, shards))
+        return 1;
+
+    unsigned failed = 0;
+    for (const auto &shard : shards)
+        failed += shard.state != ShardState::Completed;
+    std::printf("emv_fleet: %zu shard(s), %u failed; report: %s\n",
+                shards.size(), failed, opts.reportPath.c_str());
+    return failed == 0 ? 0 : 1;
+}

@@ -35,7 +35,9 @@ printUsage(std::FILE *out)
 {
     std::fprintf(out,
                  "usage: emv_soak [seeds=N] [ops=N] [warmup=N] "
-                 "[scale=F]\n");
+                 "[scale=F]\n"
+                 "exit codes: 0 all runs clean, 1 usage error or "
+                 "failing runs\n");
 }
 
 } // namespace
@@ -68,12 +70,12 @@ main(int argc, char **argv)
             std::fprintf(stderr, "emv_soak: unknown argument '%s'\n",
                          arg);
             printUsage(stderr);
-            return 2;
+            return 1;
         }
     }
     if (seeds == 0 || ops + warmup < 100 || scale <= 0.0) {
         std::fprintf(stderr, "emv_soak: bad parameters\n");
-        return 2;
+        return 1;
     }
 
     sim::RunParams params;
@@ -97,7 +99,7 @@ main(int argc, char **argv)
         auto spec = sim::specFromLabel(label);
         if (!spec) {
             std::fprintf(stderr, "bad config label '%s'\n", label);
-            return 2;
+            return 1;
         }
         for (unsigned s = 0; s < seeds; ++s) {
             params.seed = 42 + s;

@@ -1,7 +1,7 @@
 /**
  * @file
  * emvsim — command-line driver for one (workload, configuration)
- * cell, with full statistics dump.
+ * cell, with full statistics dump and crash-safe checkpointing.
  *
  * Usage:
  *   emvsim [workload=gups] [config=4K+4K] [scale=0.25]
@@ -10,6 +10,8 @@
  *          [statsjson=stats.json] [trace=Tlb,Walk]
  *          [tracefile=trace.log] [profile=1] [audit=1]
  *          [faults=dram@5000x8] [policy=degrade] [faultseed=7]
+ *          [ckpt=run.ckpt] [ckptevery=100000] [resume=run.ckpt]
+ *          [stopafter=N] [crashafter=N] [hangafter=N]
  *
  * Arguments are strictly validated: anything that is not a known
  * `key=value` pair (a typo like `tracefil=t.log`, a bare word, an
@@ -19,6 +21,38 @@
  * DS DD 4K+VD 4K+GD 2M+VD THP+VD sh4K sh2M ...
  * `fragguest`/`fraghost` set the max free-run size in MB (0 = no
  * fragmentation).
+ *
+ * Checkpoint / resume (emv-ckpt-v1; see DESIGN.md §10):
+ *   ckpt=PATH        write checkpoints to PATH (atomic write+rename;
+ *                    a crash mid-write never destroys the last good
+ *                    file).  Written every `ckptevery` ops, on
+ *                    SIGTERM/SIGINT, and at normal completion.
+ *   ckptevery=N      periodic checkpoint interval in trace ops
+ *                    (warmup + measured; requires ckpt=).
+ *   resume=PATH      restore a checkpointed run and continue it.
+ *                    The run's identity (workload, config, seeds,
+ *                    fault plan, op counts) comes from the
+ *                    checkpoint; only observability and checkpoint
+ *                    knobs may be combined with resume=.  A resumed
+ *                    run finishes with stats output bit-identical
+ *                    to the uninterrupted run.
+ *
+ * Test knobs (deterministic interruption points, in total trace
+ * ops; fresh runs only — they cannot be combined with resume=):
+ *   stopafter=N      stop at op N exactly as if SIGTERM had arrived:
+ *                    flush a final checkpoint (when ckpt= is set)
+ *                    and exit 3.
+ *   crashafter=N     raise SIGKILL at op N (simulated hard crash).
+ *   hangafter=N      stop making progress at op N (simulated hang;
+ *                    for watchdog tests).
+ *
+ * Exit codes:
+ *   0  run completed; no audit mismatches.
+ *   1  usage error, audit mismatch, or unreadable/corrupt
+ *      checkpoint (structured message on stderr).
+ *   2  terminal fault ended the run (structured report printed).
+ *   3  interrupted (signal or stopafter); when ckpt= was set, a
+ *      final checkpoint was flushed and the run can be resumed.
  *
  * Observability:
  *   statsjson=PATH   dump every stat group as emv-stats-v1 JSON.
@@ -45,21 +79,36 @@
  *   faultseed=N      seed for victim selection and filter noise.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "fault/fault_plan.hh"
+#include "sim/checkpoint.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 
 using namespace emv;
 
 namespace {
+
+/** Largest run() slice between interruption checks. */
+constexpr std::uint64_t kSubChunkOps = 65536;
+
+/** Exit codes (documented above and in README.md). */
+enum ExitCode : int {
+    kExitOk = 0,
+    kExitUsageOrAudit = 1,
+    kExitTerminalFault = 2,
+    kExitInterrupted = 3,
+};
 
 /** Every accepted key=value knob, with its help line. */
 struct Knob
@@ -91,6 +140,24 @@ constexpr Knob kKnobs[] = {
                "dram@5000x8,balloonfail@7000,filtersat@9000"},
     {"policy", "fault policy: degrade (default) or failfast"},
     {"faultseed", "fault victim-selection seed (default 7)"},
+    {"ckpt", "write emv-ckpt-v1 checkpoints to this path (atomic "
+             "write+rename; also flushed on SIGTERM/SIGINT)"},
+    {"ckptevery", "periodic checkpoint interval in trace ops "
+                  "(requires ckpt=)"},
+    {"resume", "restore a checkpoint and continue the run (run "
+               "identity comes from the checkpoint)"},
+    {"stopafter", "stop at trace op N as if SIGTERM arrived: flush "
+                  "checkpoint, exit 3 (test knob)"},
+    {"crashafter", "raise SIGKILL at trace op N (test knob)"},
+    {"hangafter", "stop progressing at trace op N (test knob)"},
+};
+
+/** Identity knobs come from the checkpoint on resume. */
+constexpr const char *kIdentityKeys[] = {
+    "workload", "config",    "scale",     "ops",
+    "warmup",   "seed",      "badframes", "fragguest",
+    "fraghost", "faults",    "policy",    "faultseed",
+    "audit",    "stopafter", "crashafter", "hangafter",
 };
 
 void
@@ -99,6 +166,14 @@ printUsage(std::FILE *out)
     std::fprintf(out, "usage: emvsim [key=value]...\n\n");
     for (const auto &knob : kKnobs)
         std::fprintf(out, "  %-10s %s\n", knob.key, knob.help);
+    std::fprintf(out,
+                 "\nexit codes:\n"
+                 "  0  run completed; no audit mismatches\n"
+                 "  1  usage error, audit mismatch, or corrupt "
+                 "checkpoint\n"
+                 "  2  terminal fault ended the run\n"
+                 "  3  interrupted (signal or stopafter); "
+                 "checkpoint flushed when ckpt= is set\n");
 }
 
 bool
@@ -162,6 +237,14 @@ workloadByName(const std::string &name)
     return std::nullopt;
 }
 
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void
+onStopSignal(int)
+{
+    gStopRequested = 1;
+}
+
 } // namespace
 
 int
@@ -173,50 +256,139 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h" || arg == "help") {
             printUsage(stdout);
-            return 0;
+            return kExitOk;
         }
     }
     if (!validateArgs(argc, argv)) {
         std::fprintf(stderr, "\n");
         printUsage(stderr);
-        return 2;
+        return kExitUsageOrAudit;
     }
 
-    const std::string wl_name =
-        argValue(argc, argv, "workload") ?: "gups";
-    const std::string config_label =
-        argValue(argc, argv, "config") ?: "4K+4K";
+    const char *resume_path = argValue(argc, argv, "resume");
+    sim::CheckpointMeta meta;
 
-    auto kind = workloadByName(wl_name);
+    if (resume_path) {
+        // The checkpoint is the single source of truth for the
+        // run's identity; conflicting knobs are a usage error, not
+        // a silent override.
+        for (const char *key : kIdentityKeys) {
+            if (argValue(argc, argv, key)) {
+                std::fprintf(stderr, "emvsim: '%s' cannot be "
+                             "combined with resume= (the checkpoint "
+                             "defines the run)\n", key);
+                return kExitUsageOrAudit;
+            }
+        }
+    } else {
+        meta.scale = 0.25;
+        meta.warmupOps = 200000;
+        meta.measureOps = 1000000;
+        if (const char *v = argValue(argc, argv, "workload"))
+            meta.workload = v;
+        if (const char *v = argValue(argc, argv, "config"))
+            meta.configLabel = v;
+        if (const char *v = argValue(argc, argv, "scale"))
+            meta.scale = std::atof(v);
+        if (const char *v = argValue(argc, argv, "ops"))
+            meta.measureOps = std::strtoull(v, nullptr, 10);
+        if (const char *v = argValue(argc, argv, "warmup"))
+            meta.warmupOps = std::strtoull(v, nullptr, 10);
+        if (const char *v = argValue(argc, argv, "seed"))
+            meta.seed = std::strtoull(v, nullptr, 10);
+        if (const char *v = argValue(argc, argv, "badframes"))
+            meta.badFrames = static_cast<unsigned>(std::atoi(v));
+        if (const char *v = argValue(argc, argv, "fragguest")) {
+            if (std::atoi(v) > 0)
+                meta.fragGuestBytes =
+                    static_cast<Addr>(std::atoi(v)) * MiB;
+        }
+        if (const char *v = argValue(argc, argv, "fraghost")) {
+            if (std::atoi(v) > 0)
+                meta.fragHostBytes =
+                    static_cast<Addr>(std::atoi(v)) * MiB;
+        }
+        if (const char *v = argValue(argc, argv, "audit"))
+            meta.audit = std::atoi(v) != 0;
+        if (const char *v = argValue(argc, argv, "faults")) {
+            if (!fault::FaultPlan::parse(v)) {
+                std::fprintf(stderr, "emvsim: bad fault spec '%s' "
+                             "(expected kind@op[xCOUNT],...)\n", v);
+                return kExitUsageOrAudit;
+            }
+            meta.faultSpec = v;
+        }
+        if (const char *v = argValue(argc, argv, "policy")) {
+            if (!fault::faultPolicyByName(v)) {
+                std::fprintf(stderr, "emvsim: bad fault policy '%s' "
+                             "(degrade or failfast)\n", v);
+                return kExitUsageOrAudit;
+            }
+            meta.faultPolicy = v;
+        }
+        if (const char *v = argValue(argc, argv, "faultseed"))
+            meta.faultSeed = std::strtoull(v, nullptr, 10);
+    }
+
+    std::string ckpt_path;
+    std::uint64_t ckpt_every = 0;
+    std::uint64_t stop_after = 0;
+    std::uint64_t crash_after = 0;
+    std::uint64_t hang_after = 0;
+    if (const char *v = argValue(argc, argv, "ckpt"))
+        ckpt_path = v;
+    if (const char *v = argValue(argc, argv, "ckptevery"))
+        ckpt_every = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "stopafter"))
+        stop_after = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "crashafter"))
+        crash_after = std::strtoull(v, nullptr, 10);
+    if (const char *v = argValue(argc, argv, "hangafter"))
+        hang_after = std::strtoull(v, nullptr, 10);
+    if (ckpt_every && ckpt_path.empty()) {
+        std::fprintf(stderr,
+                     "emvsim: ckptevery= requires ckpt=\n");
+        return kExitUsageOrAudit;
+    }
+
+    sim::LoadedCheckpoint loaded;
+    if (resume_path) {
+        std::string error;
+        if (!sim::loadCheckpoint(resume_path, loaded, error)) {
+            std::fprintf(stderr, "emvsim: cannot resume '%s': %s\n",
+                         resume_path, error.c_str());
+            return kExitUsageOrAudit;
+        }
+        meta = loaded.meta;
+    }
+
+    auto kind = workloadByName(meta.workload);
     if (!kind) {
         std::fprintf(stderr,
                      "unknown workload '%s'; one of: gups graph500 "
                      "memcached npb:cg cactusADM GemsFDTD mcf "
                      "omnetpp canneal streamcluster\n",
-                     wl_name.c_str());
-        return 2;
+                     meta.workload.c_str());
+        return kExitUsageOrAudit;
     }
-    auto spec = sim::specFromLabel(config_label);
+    auto spec = sim::specFromLabel(meta.configLabel);
     if (!spec) {
         std::fprintf(stderr, "unknown config label '%s'\n",
-                     config_label.c_str());
-        return 2;
+                     meta.configLabel.c_str());
+        return kExitUsageOrAudit;
     }
 
     sim::RunParams params;
-    params.scale = 0.25;
-    params.warmupOps = 200000;
-    params.measureOps = 1000000;
-    if (const char *v = argValue(argc, argv, "scale"))
-        params.scale = std::atof(v);
-    if (const char *v = argValue(argc, argv, "ops"))
-        params.measureOps = std::strtoull(v, nullptr, 10);
-    if (const char *v = argValue(argc, argv, "warmup"))
-        params.warmupOps = std::strtoull(v, nullptr, 10);
-    if (const char *v = argValue(argc, argv, "seed"))
-        params.seed = std::strtoull(v, nullptr, 10);
-    if (const char *v = argValue(argc, argv, "badframes"))
-        params.badFrames = static_cast<unsigned>(std::atoi(v));
+    params.scale = meta.scale;
+    params.measureOps = meta.measureOps;
+    params.warmupOps = meta.warmupOps;
+    params.seed = meta.seed;
+    params.badFrames = meta.badFrames;
+    params.badFrameSeed = meta.badFrameSeed;
+    params.faultSpec = meta.faultSpec;
+    params.faultPolicy = meta.faultPolicy;
+    params.faultSeed = meta.faultSeed;
+    params.audit = meta.audit;
     if (const char *v = argValue(argc, argv, "statsjson"))
         params.statsJsonPath = v;
     if (const char *v = argValue(argc, argv, "trace"))
@@ -225,49 +397,23 @@ main(int argc, char **argv)
         params.traceFilePath = v;
     if (const char *v = argValue(argc, argv, "profile"))
         params.profile = std::atoi(v) != 0;
-    if (const char *v = argValue(argc, argv, "audit"))
-        params.audit = std::atoi(v) != 0;
-    if (const char *v = argValue(argc, argv, "faults")) {
-        if (!fault::FaultPlan::parse(v)) {
-            std::fprintf(stderr, "emvsim: bad fault spec '%s' "
-                         "(expected kind@op[xCOUNT],...)\n", v);
-            return 2;
-        }
-        params.faultSpec = v;
-    }
-    if (const char *v = argValue(argc, argv, "policy")) {
-        if (!fault::faultPolicyByName(v)) {
-            std::fprintf(stderr, "emvsim: bad fault policy '%s' "
-                         "(degrade or failfast)\n", v);
-            return 2;
-        }
-        params.faultPolicy = v;
-    }
-    if (const char *v = argValue(argc, argv, "faultseed"))
-        params.faultSeed = std::strtoull(v, nullptr, 10);
     params.applyObservability();
 
     auto wl = workload::makeWorkload(*kind, params.seed,
                                      params.scale);
     auto cfg = sim::makeMachineConfig(*spec, params);
-    if (const char *v = argValue(argc, argv, "fragguest")) {
-        if (std::atoi(v) > 0) {
-            cfg.guestFragmentation.enabled = true;
-            cfg.guestFragmentation.maxRunBytes =
-                static_cast<Addr>(std::atoi(v)) * MiB;
-        }
+    if (meta.fragGuestBytes) {
+        cfg.guestFragmentation.enabled = true;
+        cfg.guestFragmentation.maxRunBytes = meta.fragGuestBytes;
     }
-    if (const char *v = argValue(argc, argv, "fraghost")) {
-        if (std::atoi(v) > 0) {
-            cfg.hostFragmentation.enabled = true;
-            cfg.hostFragmentation.maxRunBytes =
-                static_cast<Addr>(std::atoi(v)) * MiB;
-            cfg.contiguousHostReservation = false;
-        }
+    if (meta.fragHostBytes) {
+        cfg.hostFragmentation.enabled = true;
+        cfg.hostFragmentation.maxRunBytes = meta.fragHostBytes;
+        cfg.contiguousHostReservation = false;
     }
 
     std::printf("emvsim: %s under %s (scale=%.3g, %s footprint)\n",
-                wl->info().name.c_str(), config_label.c_str(),
+                wl->info().name.c_str(), meta.configLabel.c_str(),
                 params.scale,
                 sim::bytesStr(wl->info().footprintBytes).c_str());
     if (!params.faultSpec.empty()) {
@@ -277,9 +423,126 @@ main(int argc, char **argv)
     }
 
     sim::Machine machine(cfg, *wl);
-    machine.run(params.warmupOps);
-    machine.resetStats();
-    auto run = machine.run(params.measureOps);
+
+    bool did_reset = false;
+    if (resume_path) {
+        std::string error;
+        if (!sim::restoreMachine(loaded, machine, error)) {
+            std::fprintf(stderr, "emvsim: cannot resume '%s': %s\n",
+                         resume_path, error.c_str());
+            return kExitUsageOrAudit;
+        }
+        // A checkpoint taken at or past the warmup boundary was
+        // written after resetStats(); do not reset again.
+        did_reset = meta.warmupDone == meta.warmupOps;
+        std::printf("resumed from %s (warmup %llu/%llu, measured "
+                    "%llu/%llu)\n", resume_path,
+                    static_cast<unsigned long long>(meta.warmupDone),
+                    static_cast<unsigned long long>(meta.warmupOps),
+                    static_cast<unsigned long long>(meta.measuredOps),
+                    static_cast<unsigned long long>(meta.measureOps));
+    }
+
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+
+    const auto flushCheckpoint = [&]() {
+        if (ckpt_path.empty())
+            return true;
+        std::string error;
+        if (!sim::saveCheckpoint(ckpt_path, meta, machine, error)) {
+            std::fprintf(stderr, "emvsim: checkpoint failed: %s\n",
+                         error.c_str());
+            return false;
+        }
+        return true;
+    };
+
+    // Replay in bounded slices so signals, periodic checkpoints and
+    // the deterministic test knobs all land on exact op boundaries.
+    std::uint64_t since_ckpt = 0;
+    bool interrupted = false;
+    bool terminal = false;
+    while (!interrupted && !terminal) {
+        if (!did_reset && meta.warmupDone == meta.warmupOps) {
+            machine.resetStats();
+            did_reset = true;
+        }
+        const bool in_warmup = meta.warmupDone < meta.warmupOps;
+        const std::uint64_t remaining =
+            in_warmup ? meta.warmupOps - meta.warmupDone
+                      : meta.measureOps - meta.measuredOps;
+        if (!in_warmup && remaining == 0)
+            break;
+
+        std::uint64_t slice = std::min(remaining, kSubChunkOps);
+        const std::uint64_t done =
+            meta.warmupDone + meta.measuredOps;
+        const auto boundAt = [&](std::uint64_t target) {
+            if (target > done && target - done < slice)
+                slice = target - done;
+        };
+        if (ckpt_every)
+            boundAt(done + (ckpt_every - since_ckpt));
+        if (stop_after)
+            boundAt(stop_after);
+        if (crash_after)
+            boundAt(crash_after);
+        if (hang_after)
+            boundAt(hang_after);
+
+        const auto result = machine.run(slice);
+        if (!result.completed) {
+            terminal = true;
+            break;
+        }
+        if (in_warmup)
+            meta.warmupDone += slice;
+        else
+            meta.measuredOps += slice;
+        since_ckpt += slice;
+        if (!did_reset && meta.warmupDone == meta.warmupOps) {
+            machine.resetStats();
+            did_reset = true;
+        }
+
+        const std::uint64_t total =
+            meta.warmupDone + meta.measuredOps;
+        if (crash_after && total >= crash_after)
+            raise(SIGKILL);
+        if (hang_after && total >= hang_after) {
+            for (;;)
+                sleep(3600);
+        }
+        const bool want_stop =
+            gStopRequested != 0 || (stop_after && total >= stop_after);
+        if (want_stop || (ckpt_every && since_ckpt >= ckpt_every)) {
+            if (!flushCheckpoint())
+                return kExitUsageOrAudit;
+            since_ckpt = 0;
+        }
+        interrupted = want_stop;
+    }
+
+    if (interrupted) {
+        std::printf("\n-- interrupted --\n"
+                    "ops:        %llu of %llu (warmup %llu)\n",
+                    static_cast<unsigned long long>(
+                        meta.warmupDone + meta.measuredOps),
+                    static_cast<unsigned long long>(
+                        meta.warmupOps + meta.measureOps),
+                    static_cast<unsigned long long>(meta.warmupDone));
+        if (!ckpt_path.empty()) {
+            std::printf("checkpoint: %s (resume=%s)\n",
+                        ckpt_path.c_str(), ckpt_path.c_str());
+        }
+        return kExitInterrupted;
+    }
+
+    if (!ckpt_path.empty() && !flushCheckpoint())
+        return kExitUsageOrAudit;
+
+    const auto run = machine.measuredResult();
 
     std::printf("\n-- results --\n");
     std::printf("translation overhead: %s\n",
@@ -327,7 +590,7 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr, "cannot write '%s'\n",
                          params.statsJsonPath.c_str());
-            return 1;
+            return kExitUsageOrAudit;
         }
     }
     if (params.profile) {
@@ -345,22 +608,22 @@ main(int argc, char **argv)
 
     // A terminal fault is a clean, structured, non-zero exit — not
     // an abort: stats and JSON above still reflect the partial run.
-    if (const auto *terminal = machine.terminalFault()) {
+    if (const auto *terminal_fault = machine.terminalFault()) {
         std::printf("\n-- terminal fault --\n"
                     "reason: %s\n"
                     "space:  %s\n"
                     "addr:   %s\n"
                     "op:     %llu\n",
-                    terminal->reason.c_str(),
-                    core::toString(terminal->space),
-                    hexAddr(terminal->addr).c_str(),
+                    terminal_fault->reason.c_str(),
+                    core::toString(terminal_fault->space),
+                    hexAddr(terminal_fault->addr).c_str(),
                     static_cast<unsigned long long>(
-                        terminal->opIndex));
-        return 2;
+                        terminal_fault->opIndex));
+        return kExitTerminalFault;
     }
     if (params.audit && (audit::mismatchCount() != 0 ||
                          audit::failureCount() != 0)) {
-        return 1;
+        return kExitUsageOrAudit;
     }
-    return 0;
+    return kExitOk;
 }

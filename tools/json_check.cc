@@ -5,6 +5,7 @@
  * Usage:
  *   json_check <stats.json> [trace.log]
  *   json_check <bench.json>
+ *   json_check <fleet.json>
  *   json_check <directory>
  *
  * A .json argument must parse as strict JSON and carry one of the
@@ -15,7 +16,16 @@
  *   emv-bench-v1 — a non-empty title and a non-empty "cells" array
  *                  whose entries each name a workload, a config, and
  *                  a finite numeric overhead (the BENCH_*.json
- *                  contract from bench/bench_util.hh).
+ *                  contract from bench/bench_util.hh);
+ *   emv-fleet-v1 — the emv_fleet shard report: a jobs count, a
+ *                  non-empty "shards" array whose entries carry the
+ *                  per-shard identity, status and retry bookkeeping,
+ *                  and a "summary" rollup consistent with the shard
+ *                  list.
+ *
+ * All schemas additionally reject documents containing duplicate
+ * object keys or non-finite numbers (strtod happily parses "1e999"
+ * to +Inf; a validator must not wave that through).
  *
  * A directory argument scans for BENCH_*.json files and validates
  * every one (failing when none are found), so CI can gate on the
@@ -54,6 +64,49 @@ bool
 isString(const emv::json::Value *v)
 {
     return v && v->kind == emv::json::Value::Kind::String;
+}
+
+bool
+isFiniteNumber(const emv::json::Value *v)
+{
+    return v && v->isNumber() && std::isfinite(v->number);
+}
+
+/**
+ * Every number anywhere in the document must be finite.  On failure
+ * @p where names the offending member ("shards[3].exit_code"-style)
+ * for the error message.
+ */
+bool
+allNumbersFinite(const emv::json::Value &v, const std::string &at,
+                 std::string &where)
+{
+    switch (v.kind) {
+      case emv::json::Value::Kind::Number:
+        if (!std::isfinite(v.number)) {
+            where = at.empty() ? "<root>" : at;
+            return false;
+        }
+        return true;
+      case emv::json::Value::Kind::Array:
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (!allNumbersFinite(v.array[i],
+                                  at + "[" + std::to_string(i) + "]",
+                                  where))
+                return false;
+        }
+        return true;
+      case emv::json::Value::Kind::Object:
+        for (const auto &[name, member] : v.object) {
+            if (!allNumbersFinite(member,
+                                  at.empty() ? name : at + "." + name,
+                                  where))
+                return false;
+        }
+        return true;
+      default:
+        return true;
+    }
 }
 
 /** emv-stats-v1: named groups, at least one counter overall. */
@@ -124,6 +177,99 @@ checkBench(const std::string &path, const emv::json::Value &root)
     return 0;
 }
 
+/** emv-fleet-v1: jobs count, shard entries, consistent summary. */
+int
+checkFleet(const std::string &path, const emv::json::Value &root)
+{
+    const emv::json::Value *jobs = root.find("jobs");
+    if (!isFiniteNumber(jobs) || jobs->number < 1) {
+        std::fprintf(stderr, "json_check: %s: missing jobs count\n",
+                     path.c_str());
+        return 1;
+    }
+    const emv::json::Value *shards = root.find("shards");
+    if (!shards || !shards->isArray() || shards->array.empty()) {
+        std::fprintf(stderr, "json_check: %s: no shards\n",
+                     path.c_str());
+        return 1;
+    }
+    unsigned completed = 0, terminal = 0, quarantined = 0;
+    unsigned retried = 0;
+    for (std::size_t i = 0; i < shards->array.size(); ++i) {
+        const emv::json::Value &shard = shards->array[i];
+        if (!isString(shard.find("workload")) ||
+            !isString(shard.find("config")) ||
+            !isFiniteNumber(shard.find("id")) ||
+            !isFiniteNumber(shard.find("seed"))) {
+            std::fprintf(stderr, "json_check: %s: shard %zu lacks "
+                         "id/workload/config/seed\n", path.c_str(),
+                         i);
+            return 1;
+        }
+        const emv::json::Value *status = shard.find("status");
+        if (!isString(status) ||
+            (status->string != "completed" &&
+             status->string != "terminal" &&
+             status->string != "quarantined" &&
+             status->string != "pending" &&
+             status->string != "running")) {
+            std::fprintf(stderr, "json_check: %s: shard %zu has an "
+                         "invalid status\n", path.c_str(), i);
+            return 1;
+        }
+        for (const char *counter :
+             {"attempts", "hangs", "resumes", "exit_code"}) {
+            if (!isFiniteNumber(shard.find(counter))) {
+                std::fprintf(stderr, "json_check: %s: shard %zu "
+                             "lacks a numeric %s\n", path.c_str(), i,
+                             counter);
+                return 1;
+            }
+        }
+        if (!isString(shard.find("stats_json")) ||
+            !isString(shard.find("log"))) {
+            std::fprintf(stderr, "json_check: %s: shard %zu lacks "
+                         "stats_json/log paths\n", path.c_str(), i);
+            return 1;
+        }
+        completed += status->string == "completed";
+        terminal += status->string == "terminal";
+        quarantined += status->string == "quarantined";
+        retried += shard.find("attempts")->number > 1;
+    }
+    const emv::json::Value *summary = root.find("summary");
+    if (!summary || !summary->isObject()) {
+        std::fprintf(stderr, "json_check: %s: missing summary\n",
+                     path.c_str());
+        return 1;
+    }
+    const struct { const char *name; unsigned expect; } rollup[] = {
+        {"total", static_cast<unsigned>(shards->array.size())},
+        {"completed", completed},
+        {"terminal", terminal},
+        {"quarantined", quarantined},
+        {"retried", retried},
+    };
+    for (const auto &field : rollup) {
+        const emv::json::Value *v = summary->find(field.name);
+        if (!isFiniteNumber(v)) {
+            std::fprintf(stderr, "json_check: %s: summary lacks a "
+                         "numeric %s\n", path.c_str(), field.name);
+            return 1;
+        }
+        if (v->number != static_cast<double>(field.expect)) {
+            std::fprintf(stderr, "json_check: %s: summary.%s is %g "
+                         "but the shard list implies %u\n",
+                         path.c_str(), field.name, v->number,
+                         field.expect);
+            return 1;
+        }
+    }
+    std::printf("json_check: %s ok (%zu shards, %u completed)\n",
+                path.c_str(), shards->array.size(), completed);
+    return 0;
+}
+
 int
 checkJsonFile(const std::string &path)
 {
@@ -135,9 +281,24 @@ checkJsonFile(const std::string &path)
     }
 
     emv::json::Value root;
-    if (!emv::json::parse(text, root)) {
-        std::fprintf(stderr, "json_check: '%s' is not well-formed "
-                     "JSON\n", path.c_str());
+    if (!emv::json::parse(text, root,
+                          /*rejectDuplicateKeys=*/true)) {
+        // Distinguish "duplicate keys" (a lenient parse succeeds)
+        // from outright malformed JSON in the diagnostic.
+        emv::json::Value ignored;
+        std::fprintf(stderr,
+                     emv::json::parse(text, ignored)
+                         ? "json_check: '%s' has duplicate object "
+                           "keys\n"
+                         : "json_check: '%s' is not well-formed "
+                           "JSON\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string non_finite_at;
+    if (!allNumbersFinite(root, "", non_finite_at)) {
+        std::fprintf(stderr, "json_check: %s: non-finite number at "
+                     "%s\n", path.c_str(), non_finite_at.c_str());
         return 1;
     }
     if (!root.isObject()) {
@@ -155,6 +316,8 @@ checkJsonFile(const std::string &path)
         return checkStats(path, root);
     if (schema->string == "emv-bench-v1")
         return checkBench(path, root);
+    if (schema->string == "emv-fleet-v1")
+        return checkFleet(path, root);
     std::fprintf(stderr, "json_check: %s: unknown schema \"%s\"\n",
                  path.c_str(), schema->string.c_str());
     return 1;
@@ -198,7 +361,7 @@ main(int argc, char **argv)
 {
     if (argc < 2 || argc > 3) {
         std::fprintf(stderr, "usage: json_check <stats.json|"
-                     "bench.json|dir> [trace.log]\n");
+                     "bench.json|fleet.json|dir> [trace.log]\n");
         return 2;
     }
 
