@@ -35,6 +35,7 @@ main(int argc, char **argv)
     sim::Table table({"free-run cap", "mechanism", "pages copied",
                       "segment", "DD overhead after"});
 
+    bench::ThroughputMeter meter;
     for (Addr cap_mb : {64ull, 16ull, 4ull}) {
         // --- Self-ballooning path.
         {
@@ -51,7 +52,7 @@ main(int argc, char **argv)
             const bool ok = machine.selfBalloonGuestSegment();
             machine.run(params.warmupOps);
             machine.resetStats();
-            auto run = machine.run(params.measureOps);
+            auto run = meter.run(machine, params.measureOps);
             table.addRow(
                 {std::to_string(cap_mb) + " MB", "self-balloon",
                  "0 (no data moved)", ok ? "created" : "FAILED",
@@ -88,7 +89,7 @@ main(int argc, char **argv)
             }
             machine.run(params.warmupOps);
             machine.resetStats();
-            auto run = machine.run(params.measureOps);
+            auto run = meter.run(machine, params.measureOps);
             table.addRow({std::to_string(cap_mb) + " MB",
                           "guest compaction",
                           std::to_string(daemon.migratedPages()),
@@ -108,5 +109,6 @@ main(int argc, char **argv)
                 "(and the fragmentation\ncap barely matters for "
                 "ballooning, while compaction's cost scales with "
                 "it).\n");
+    bench::writeBenchJson("Ablation balloon vs compaction", meter);
     return 0;
 }

@@ -35,6 +35,7 @@ main(int argc, char **argv)
                       "virt overhead (shared)",
                       "virt overhead (no NTLB)"});
 
+    bench::ThroughputMeter meter;
     for (auto kind :
          {WorkloadKind::Graph500, WorkloadKind::Memcached,
           WorkloadKind::NpbCg, WorkloadKind::Canneal}) {
@@ -43,6 +44,8 @@ main(int argc, char **argv)
 
         auto spec = *sim::specFromLabel("4K+4K");
         auto shared_cell = sim::runCell(kind, spec, params);
+        meter.add(native);
+        meter.add(shared_cell);
 
         auto wl = workload::makeWorkload(kind, params.seed,
                                          params.scale);
@@ -51,7 +54,7 @@ main(int argc, char **argv)
         sim::Machine machine(cfg, *wl);
         machine.run(params.warmupOps);
         machine.resetStats();
-        auto isolated = machine.run(params.measureOps);
+        auto isolated = meter.run(machine, params.measureOps);
 
         const double inflation =
             static_cast<double>(shared_cell.run.l2Misses) /
@@ -76,5 +79,6 @@ main(int argc, char **argv)
                 "walks the nested table, so per-miss cost rises — "
                 "the design\ntension real NTLBs resolve with "
                 "dedicated capacity.\n");
+    bench::writeBenchJson("Ablation L2 shared nested", meter);
     return 0;
 }

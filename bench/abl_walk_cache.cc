@@ -33,6 +33,7 @@ main(int argc, char **argv)
     sim::Table table({"workload", "config", "PSC", "refs/walk",
                       "cycles/walk", "overhead"});
 
+    bench::ThroughputMeter meter;
     for (auto kind : {WorkloadKind::Gups, WorkloadKind::Graph500}) {
         for (const char *label : {"4K", "4K+4K", "4K+VD", "DD"}) {
             for (bool psc : {true, false}) {
@@ -44,7 +45,7 @@ main(int argc, char **argv)
                 sim::Machine machine(cfg, *wl);
                 machine.run(params.warmupOps);
                 machine.resetStats();
-                auto run = machine.run(params.measureOps);
+                auto run = meter.run(machine, params.measureOps);
 
                 const auto &stats = machine.mmu().stats();
                 const double refs = static_cast<double>(
@@ -73,5 +74,6 @@ main(int argc, char **argv)
                 "worst case; the proposed modes\nare largely "
                 "insensitive because they bypass the cached "
                 "levels entirely.\n");
+    bench::writeBenchJson("Ablation walk cache", meter);
     return 0;
 }

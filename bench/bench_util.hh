@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -14,6 +15,68 @@
 #include "workload/workload.hh"
 
 namespace emv::bench {
+
+/**
+ * Accumulates wall-clock throughput across a bench's simulation
+ * phases: how many trace ops ran and how long the host took, for
+ * the emv-bench-v1 "throughput" section.
+ */
+class ThroughputMeter
+{
+  public:
+    /** Run @p ops trace ops on @p machine, timing the call. */
+    sim::RunResult
+    run(sim::Machine &machine, std::uint64_t ops)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto result = machine.run(ops);
+        add(ops, elapsedNs(t0));
+        return result;
+    }
+
+    /** Fold in a cell measured by sim::runCell. */
+    void add(const sim::CellResult &cell)
+    { add(cell.measuredOps, cell.hostNs); }
+
+    /** Fold in externally timed work. */
+    void
+    add(std::uint64_t ops, std::uint64_t host_ns)
+    {
+        _ops += ops;
+        _ns += host_ns;
+    }
+
+    static std::uint64_t
+    elapsedNs(std::chrono::steady_clock::time_point since)
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - since)
+                .count());
+    }
+
+    std::uint64_t ops() const { return _ops; }
+    std::uint64_t hostNs() const { return _ns; }
+
+  private:
+    std::uint64_t _ops = 0;
+    std::uint64_t _ns = 0;
+};
+
+/**
+ * Write BENCH_<slug>.json for a bench without a cell matrix (the
+ * matrix benches get throughput via runOverheadMatrix instead).
+ */
+inline void
+writeBenchJson(const std::string &title, const ThroughputMeter &meter)
+{
+    const std::string path = "BENCH_" + sim::slugify(title) + ".json";
+    if (sim::writeBenchThroughputJson(path, title, meter.ops(),
+                                      meter.hostNs()))
+        std::printf("\nwrote %s\n", path.c_str());
+    else
+        emv_warn("cannot write %s", path.c_str());
+}
 
 /**
  * Run a (workloads x configs) overhead matrix and print it the way

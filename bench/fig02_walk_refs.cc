@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/logging.hh"
 #include "core/mmu.hh"
 #include "sim/machine.hh"
@@ -49,6 +50,7 @@ main()
     sim::Table table({"mode", "refs/walk (cold)", "calcs/walk",
                       "paper says"});
 
+    bench::ThroughputMeter meter;
     for (const auto &row : rows) {
         auto wl = workload::makeWorkload(workload::WorkloadKind::Gups,
                                          1, 0.02);
@@ -59,7 +61,7 @@ main()
         cfg.mmu.walkCachesEnabled = false;
         cfg.mmu.nestedTlbShared = false;
         sim::Machine machine(cfg, *wl);
-        machine.run(50000);
+        meter.run(machine, 50000);
 
         const auto &stats = machine.mmu().stats();
         const double walks = static_cast<double>(
@@ -89,5 +91,6 @@ main()
     std::printf("\nNote: Dual Direct resolves most misses without "
                 "invoking the walker at all;\nits refs/walk average "
                 "includes the rare escape/fallback walks only.\n");
+    bench::writeBenchJson("Figure 2 walk refs", meter);
     return 0;
 }

@@ -53,6 +53,7 @@ main(int argc, char **argv)
         }
     };
 
+    bench::ThroughputMeter meter;
     double ratio_sum44 = 0, ratio_sum42 = 0, ratio_sum41 = 0;
     for (auto kind : kinds) {
         auto native = sim::runCell(kind, *sim::specFromLabel("4K"),
@@ -63,6 +64,10 @@ main(int argc, char **argv)
                                 params);
         auto v41 = sim::runCell(kind, *sim::specFromLabel("4K+1G"),
                                 params);
+        meter.add(native);
+        meter.add(v44);
+        meter.add(v42);
+        meter.add(v41);
 
         const double inflation =
             static_cast<double>(v44.run.l2Misses) /
@@ -104,5 +109,6 @@ main(int argc, char **argv)
     std::printf("\nMeasured average growth: %.2fx (4K+4K)  %.2fx "
                 "(4K+2M)  %.2fx (4K+1G)\n",
                 ratio_sum44 / n, ratio_sum42 / n, ratio_sum41 / n);
+    bench::writeBenchJson("Section 8 cost breakdown", meter);
     return 0;
 }

@@ -33,6 +33,7 @@ main(int argc, char **argv)
                       "GD C/miss", "vs native", "DD L2-miss cut",
                       "F_VD", "F_GD", "F_DD"});
 
+    bench::ThroughputMeter meter;
     for (auto kind : workload::bigMemoryWorkloads()) {
         auto native = sim::runCell(kind, *sim::specFromLabel("4K"),
                                    params);
@@ -44,6 +45,11 @@ main(int argc, char **argv)
                                params);
         auto dd = sim::runCell(kind, *sim::specFromLabel("DD"),
                                params);
+        meter.add(native);
+        meter.add(bv);
+        meter.add(vd);
+        meter.add(gd);
+        meter.add(dd);
 
         const double cn = native.run.cyclesPerWalk;
         const double cut =
@@ -70,5 +76,6 @@ main(int argc, char **argv)
                 "+13%%, GD +3%% cycles per miss;\nDD removes "
                 "~99.9%% of L2 misses)\n\n");
     table.print(std::cout);
+    bench::writeBenchJson("Section 9a breakdown", meter);
     return 0;
 }

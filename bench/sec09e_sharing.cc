@@ -14,9 +14,11 @@
  * fraction of *used* (non-zero) memory and of total memory.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "sim/report.hh"
@@ -85,6 +87,7 @@ main()
     sim::Table table({"VM pair", "used frames", "duplicate frames",
                       "saved (of used)", "saved (of total)"});
 
+    bench::ThroughputMeter meter;
     for (std::size_t i = 0; i < kinds.size(); ++i) {
         for (std::size_t j = i; j < kinds.size(); ++j) {
             mem::PhysMemory host(2 * GiB);
@@ -101,7 +104,12 @@ main()
             fillVm(b, kinds[j], 2);
 
             vmm::PageSharing sharing(vmm);
+            // Throughput here meters the scan itself: one "op" per
+            // scanned frame.
+            const auto t0 = std::chrono::steady_clock::now();
             auto report = sharing.scan({&a, &b});
+            meter.add(report.scannedFrames,
+                      bench::ThroughputMeter::elapsedNs(t0));
             const std::uint64_t used =
                 usedFrames(vmm, a) + usedFrames(vmm, b);
             // Zero (free) frames trivially dedupe; discount them as
@@ -135,5 +143,6 @@ main()
                 "co-scheduled VM pairs\n(paper: no more than 3%% "
                 "savings for big-memory pairs)\n\n");
     table.print(std::cout);
+    bench::writeBenchJson("Section 9e sharing", meter);
     return 0;
 }

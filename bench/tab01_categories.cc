@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/logging.hh"
 #include "sim/machine.hh"
 #include "sim/report.hh"
@@ -33,9 +34,10 @@ main()
     cfg.mmu.nestedTlbShared = false;
     cfg.badFrames = 12;  // Forces some Guest-only escapes.
     sim::Machine machine(cfg, *wl);
+    bench::ThroughputMeter meter;
     machine.run(50000);
     machine.resetStats();
-    machine.run(400000);
+    meter.run(machine, 400000);
 
     const auto &stats = machine.mmu().stats();
     const auto both = stats.counterValue("cat_both");
@@ -78,5 +80,6 @@ main()
                           static_cast<double>(
                               stats.counterValue("walks"))
                     : 0.0);
+    bench::writeBenchJson("Table 1 categories", meter);
     return 0;
 }

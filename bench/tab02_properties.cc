@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "core/mode.hh"
 #include "sim/report.hh"
 
@@ -63,5 +64,9 @@ main()
 
     std::cout << "Table II: tradeoffs among translation modes\n\n";
     table.print(std::cout);
+    // No simulation runs here (the table reads the traits database),
+    // so the throughput section is an explicit zero, not an omission.
+    bench::writeBenchJson("Table 2 properties",
+                          bench::ThroughputMeter());
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
@@ -27,13 +28,15 @@ using workload::WorkloadKind;
 namespace {
 
 sim::RunParams gParams;
+bench::ThroughputMeter gMeter;
 
 double
 measure(sim::Machine &machine)
 {
     machine.run(gParams.warmupOps);
     machine.resetStats();
-    return machine.run(gParams.measureOps).translationOverhead();
+    return gMeter.run(machine, gParams.measureOps)
+        .translationOverhead();
 }
 
 } // namespace
@@ -135,5 +138,6 @@ main(int argc, char **argv)
 
     std::printf("\nTable III: fragmented-system recovery flows\n\n");
     table.print(std::cout);
+    bench::writeBenchJson("Table 3 fragmentation", gMeter);
     return 0;
 }

@@ -32,11 +32,14 @@ main(int argc, char **argv)
     sim::Table table({"workload", "design", "model cycles/acc",
                       "simulated cycles/acc", "ratio"});
 
+    bench::ThroughputMeter meter;
     for (auto kind : workload::bigMemoryWorkloads()) {
         auto native = sim::runCell(kind, *sim::specFromLabel("4K"),
                                    params);
         auto virt = sim::runCell(kind, *sim::specFromLabel("4K+4K"),
                                  params);
+        meter.add(native);
+        meter.add(virt);
         const double accesses =
             static_cast<double>(native.run.accessOps);
 
@@ -60,6 +63,7 @@ main(int argc, char **argv)
         for (const auto &design : designs) {
             auto cell = sim::runCell(
                 kind, *sim::specFromLabel(design.label), params);
+            meter.add(cell);
             // Coverage fractions measured from the design run.
             core::ModelInputs mi = in;
             mi.fractionBoth = cell.run.fractionBoth;
@@ -102,5 +106,6 @@ main(int argc, char **argv)
                 "structural simulation agree;\nDS/DD rows compare "
                 "against near-zero quantities, so small absolute\n"
                 "differences can produce large ratios there.\n");
+    bench::writeBenchJson("Table 4 models", meter);
     return 0;
 }

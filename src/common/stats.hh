@@ -90,6 +90,16 @@ class Distribution
     /**
      * Approximate @p p quantile (p in [0, 1]) from the power-of-two
      * buckets, clamped to the observed [min, max].
+     *
+     * Error bound: the estimate is the geometric midpoint
+     * (1.5 * 2^(b-1)) of the one-octave bucket [2^(b-1), 2^b)
+     * holding the target sample, so it sits within a factor of 2 of
+     * a true sample value (at most 1.5x above the bucket floor, at
+     * most 1.33x below its ceiling) — a ±2x bound, never tighter
+     * than the octave.  p outside [0, 1] is clamped; an empty
+     * distribution returns 0.  For tighter tails (the telemetry
+     * p999), use telemetry::LatencyHistogram, whose 16 sub-buckets
+     * per octave bound the relative error at 1/16 instead.
      */
     double percentile(double p) const;
 

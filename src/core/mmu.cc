@@ -444,6 +444,8 @@ TranslationResult
 Mmu::translate(Addr gva)
 {
     TranslationResult result = translateImpl(gva);
+    if (result.ok)
+        translationLatencyHist.record(result.cycles);
     if (audit::enabled()) {
         if (!auditor)
             auditor = std::make_unique<DifferentialAuditor>(*this);
@@ -679,6 +681,7 @@ Mmu::serialize(ckpt::Encoder &enc) const
     nestedPsc.serialize(enc);
     pteLines.serialize(enc);
     _stats.serialize(enc);
+    translationLatencyHist.serialize(enc);
 }
 
 bool
@@ -713,7 +716,8 @@ Mmu::deserialize(ckpt::Decoder &dec)
         !_guestFilter->deserialize(dec) ||
         !tlbHier.deserialize(dec) || !guestPsc.deserialize(dec) ||
         !nestedPsc.deserialize(dec) || !pteLines.deserialize(dec) ||
-        !_stats.deserialize(dec))
+        !_stats.deserialize(dec) ||
+        !translationLatencyHist.deserialize(dec))
         return false;
     // Scratch fault state never survives a translate() call; clear
     // it so a restore mid-run starts from a clean slate.

@@ -37,6 +37,7 @@
 #include <ostream>
 
 #include "common/stats.hh"
+#include "common/telemetry.hh"
 #include "common/types.hh"
 #include "core/cost_model.hh"
 #include "core/mode.hh"
@@ -176,6 +177,17 @@ class Mmu
     const MmuConfig &configuration() const { return config; }
 
     /**
+     * Per-translation modeled latency (cycles) of every resolved
+     * translation — all paths, L1 hits included, not just walks.
+     * This is the telemetry hot-path API: readers window and
+     * percentile it without any string-keyed registry lookups.
+     */
+    const telemetry::LatencyHistogram &translationLatency() const
+    { return translationLatencyHist; }
+    /** Zero the latency histogram (end of warmup, with the stats). */
+    void resetTranslationLatency() { translationLatencyHist.reset(); }
+
+    /**
      * Translation fractions measured so far, for the Table IV
      * linear models: F_DD, F_VD, F_GD over all walks + DD fast hits.
      */
@@ -276,6 +288,9 @@ class Mmu
     Scalar *walkCyclesScl;
     Scalar *translationCyclesScl;
     Distribution *perWalkCyclesDist;
+
+    /** Cumulative per-translation latency (telemetry tail metrics). */
+    telemetry::LatencyHistogram translationLatencyHist;
 };
 
 } // namespace emv::core

@@ -13,7 +13,8 @@ constexpr std::uint32_t kMetaVersion = 1;
 
 bool
 saveCheckpoint(const std::string &path, const CheckpointMeta &meta,
-               const Machine &machine, std::string &error)
+               const Machine &machine, std::string &error,
+               const telemetry::TelemetryRecorder *recorder)
 {
     ckpt::Writer writer;
 
@@ -40,6 +41,12 @@ saveCheckpoint(const std::string &path, const CheckpointMeta &meta,
     ckpt::Encoder a;
     audit::stats().serialize(a);
     writer.chunk("audit", a);
+
+    if (recorder) {
+        ckpt::Encoder t;
+        recorder->serialize(t);
+        writer.chunk("telemetry", t);
+    }
 
     machine.serialize(writer);
     return writer.writeFile(path, &error);
@@ -100,6 +107,23 @@ restoreMachine(const LoadedCheckpoint &file, Machine &machine,
         return false;
     }
     return machine.deserialize(file.reader, error);
+}
+
+bool
+restoreTelemetry(const LoadedCheckpoint &file,
+                 telemetry::TelemetryRecorder &recorder,
+                 std::string &error)
+{
+    if (!file.reader.hasChunk("telemetry"))
+        return true;
+    ckpt::Decoder t = file.reader.chunk("telemetry");
+    if (!recorder.deserialize(t) || !t.ok()) {
+        error = "chunk 'telemetry': " +
+                (t.error().empty() ? std::string("malformed payload")
+                                   : t.error());
+        return false;
+    }
+    return true;
 }
 
 } // namespace emv::sim

@@ -8,6 +8,9 @@
  *               label, scale, seeds, fault plan, and how far the
  *               run had progressed (warmup / measured op counts);
  *   "audit"   — the process-wide machine.audit counters;
+ *   "telemetry" (optional) — the TelemetryRecorder's window cursor
+ *               and per-source baselines, present only when the run
+ *               had a metrics sink attached;
  *   the Machine's per-layer chunks (see Machine::serialize).
  *
  * Restore is construct-then-overwrite: the driver rebuilds the
@@ -24,6 +27,7 @@
 #include <string>
 
 #include "common/ckpt.hh"
+#include "common/telemetry.hh"
 #include "sim/machine.hh"
 
 namespace emv::sim {
@@ -63,12 +67,17 @@ struct LoadedCheckpoint
 
 /**
  * Atomically write meta + audit counters + every machine layer to
- * @p path.  False (with @p error set) on any I/O failure; an
- * existing file at @p path survives a failed write intact.
+ * @p path.  When @p recorder is non-null its window cursor and
+ * baselines are saved in a "telemetry" chunk so a resumed run
+ * continues at the next window index.  False (with @p error set) on
+ * any I/O failure; an existing file at @p path survives a failed
+ * write intact.
  */
 bool saveCheckpoint(const std::string &path,
                     const CheckpointMeta &meta, const Machine &machine,
-                    std::string &error);
+                    std::string &error,
+                    const telemetry::TelemetryRecorder *recorder =
+                        nullptr);
 
 /**
  * Read, parse and fully validate @p path (magic, version, framing,
@@ -86,5 +95,17 @@ bool loadCheckpoint(const std::string &path, LoadedCheckpoint &out,
  */
 bool restoreMachine(const LoadedCheckpoint &file, Machine &machine,
                     std::string &error);
+
+/**
+ * Restore @p recorder's window cursor and baselines from the
+ * checkpoint's "telemetry" chunk, if one is present.  The recorder
+ * must already be attached to the rebuilt machine (same sources, in
+ * the same order) and configured with the same window size.  A
+ * checkpoint without the chunk (run saved with no metrics sink) is
+ * not an error: the recorder is left at window 0.
+ */
+bool restoreTelemetry(const LoadedCheckpoint &file,
+                      telemetry::TelemetryRecorder &recorder,
+                      std::string &error);
 
 } // namespace emv::sim

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -227,7 +228,13 @@ runCell(workload::WorkloadKind kind, const ConfigSpec &spec,
     CellResult cell;
     cell.workload = workload::workloadName(kind);
     cell.config = spec.label;
+    const auto t0 = std::chrono::steady_clock::now();
     cell.run = machine.run(params.measureOps);
+    cell.hostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    cell.measuredOps = params.measureOps;
     return cell;
 }
 

@@ -86,6 +86,28 @@ struct CellResult
     std::string config;
     RunResult run;
 
+    /** @{ Wall-clock throughput of the measure phase (how fast the
+     * simulator itself ran, as opposed to the modeled cycles). */
+    std::uint64_t measuredOps = 0;  //!< Trace ops measured.
+    std::uint64_t hostNs = 0;       //!< Host wall time of those ops.
+
+    double
+    opsPerSec() const
+    {
+        return hostNs ? static_cast<double>(measuredOps) * 1e9 /
+                            static_cast<double>(hostNs)
+                      : 0.0;
+    }
+
+    double
+    hostNsPerOp() const
+    {
+        return measuredOps ? static_cast<double>(hostNs) /
+                                 static_cast<double>(measuredOps)
+                           : 0.0;
+    }
+    /** @} */
+
     /** The paper's y-axis: execution-time overhead vs T_2Mideal. */
     double overhead() const { return run.totalOverhead(); }
 };

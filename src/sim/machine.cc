@@ -5,6 +5,7 @@
 #include "common/ckpt.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
+#include "common/telemetry.hh"
 #include "common/trace.hh"
 #include "os/hotplug.hh"
 
@@ -416,6 +417,7 @@ void
 Machine::resetStats()
 {
     _mmu->stats().resetAll();
+    _mmu->resetTranslationLatency();
     faultCyclesPool = 0.0;
     shootdownCyclesPool = 0.0;
     guestFaultCount = 0;
@@ -424,6 +426,59 @@ Machine::resetStats()
     baseCyclesPool = 0.0;
     vmExitBase = _vm ? _vm->vmExits() : 0;
     shadowExitBase = shadow ? shadow->syncExits() : 0;
+    // Counter sources just moved backwards; re-baseline the window.
+    if (telem)
+        telem->rebase();
+}
+
+void
+Machine::attachTelemetry(telemetry::TelemetryRecorder *recorder)
+{
+    telem = recorder;
+    if (!telem)
+        return;
+
+    const auto &stats = _mmu->stats();
+    const auto ctr = [&stats](const char *name) {
+        return [&stats, name] { return stats.counterValue(name); };
+    };
+    telem->addCounter("accesses", ctr("accesses"));
+    telem->addCounter("l1_misses", ctr("l1_misses"));
+    telem->addCounter("l2_misses", ctr("l2_misses"));
+    telem->addCounter("walks", ctr("walks"));
+    telem->addCounter("guest_refs", ctr("guest_refs"));
+    telem->addCounter("nested_refs", ctr("nested_refs"));
+    telem->addCounter("native_refs", ctr("native_refs"));
+    telem->addCounter("dd_fast_hits", ctr("dd_fast_hits"));
+    telem->addCounter("ds_fast_hits", ctr("ds_fast_hits"));
+    telem->addCounter("escape_slow_paths",
+                      ctr("escape_slow_paths"));
+    telem->addCounter("faults", ctr("faults"));
+    telem->addCounter("guest_faults",
+                      [this] { return guestFaultCount; });
+    telem->addCounter("remaps", [this] { return remapCount; });
+    telem->addCounter("downgrades", [this] {
+        return injector->stats().counterValue("downgrades");
+    });
+    telem->addScalar("translation_cycles", [&stats] {
+        return stats.scalarValue("translation_cycles");
+    });
+    telem->addScalar("base_cycles",
+                     [this] { return baseCyclesPool; });
+    telem->addScalar("fault_cycles",
+                     [this] { return faultCyclesPool; });
+    telem->addScalar("shootdown_cycles",
+                     [this] { return shootdownCyclesPool; });
+    telem->addGauge("guest_filter_fill", [this] {
+        return _mmu->guestFilter().fillRatio();
+    });
+    telem->addGauge("vmm_filter_fill", [this] {
+        return _mmu->vmmFilter().fillRatio();
+    });
+    telem->setLatencySource(&_mmu->translationLatency());
+    telem->setModeSource(
+        [this] { return std::string(core::modeName(cfg.mode)); });
+    telem->rebase();
 }
 
 RunResult
@@ -485,6 +540,8 @@ Machine::run(std::uint64_t ops)
                 static_cast<double>(op.bytes / kPage4K) *
                 static_cast<double>(cfg.mmu.costs.guestFaultCycles) /
                 512.0;
+            if (telem)
+                telem->onOp();
             continue;
         }
         ++accessCount;
@@ -504,6 +561,8 @@ Machine::run(std::uint64_t ops)
         }
         if (aborted)
             break;
+        if (telem)
+            telem->onOp();
     }
 
     const Snapshot after = snap();
@@ -832,6 +891,11 @@ Machine::upgradeWithHostCompaction(std::uint64_t max_migrations)
     const Mode next = cfg.mode == Mode::GuestDirect
                           ? Mode::DualDirect
                           : Mode::VmmDirect;
+    if (telem) {
+        telem->event("upgrade",
+                     std::string(core::modeName(cfg.mode)) + "->" +
+                         core::modeName(next));
+    }
     cfg.mode = next;
     _mmu->setMode(next);
     return migrated;
@@ -912,6 +976,11 @@ Machine::downgradeMode()
     // audit stays clean across the transition.
     EMV_TRACE(Fault, "mode downgrade %s -> %s",
               core::modeName(cfg.mode), core::modeName(next));
+    if (telem) {
+        telem->event("downgrade",
+                     std::string(core::modeName(cfg.mode)) + "->" +
+                         core::modeName(next));
+    }
     cfg.mode = next;
     _mmu->setMode(next);
     ++injector->stats().counter("downgrades");
@@ -940,6 +1009,8 @@ Machine::recordTerminalFault(const char *what, core::FaultSpace space,
         return false;
     _terminalFault = FaultReport{what, space, addr, opCursor};
     ++injector->stats().counter("terminal_faults");
+    if (telem)
+        telem->event("terminal_fault", what);
     EMV_TRACE(Fault, "terminal fault: %s space=%s addr=%s op=%llu",
               what, core::toString(space), hexAddr(addr).c_str(),
               static_cast<unsigned long long>(opCursor));
@@ -999,6 +1070,12 @@ Machine::applyScheduledFaults()
     for (const auto &event : injector->eventsDue(opCursor)) {
         if (_terminalFault)
             break;
+        if (telem) {
+            telem->event("fault",
+                         std::string(
+                             fault::faultKindName(event.kind)) +
+                             "x" + std::to_string(event.count));
+        }
         applyFault(event);
     }
 }

@@ -38,6 +38,9 @@ namespace ckpt {
 class Writer;
 class Reader;
 } // namespace ckpt
+namespace telemetry {
+class TelemetryRecorder;
+} // namespace telemetry
 } // namespace emv
 
 namespace emv::sim {
@@ -230,6 +233,19 @@ class Machine
     bool downgradeMode();
     /** @} */
 
+    /** @{ Time-series telemetry (common/telemetry.hh).
+     * attachTelemetry() registers the standard metric sources on
+     * @p recorder (TLB misses, walk refs, escapes, faults, mode
+     * transitions, modeled cycles, filter fills, the per-translation
+     * latency histogram and the current mode), re-baselines it, and
+     * starts ticking it once per trace op; mode transitions and
+     * injected faults are marked as window events.  Call after the
+     * warmup-boundary resetStats() so window deltas reconcile with
+     * the measured-interval aggregates.  Pass nullptr to detach. */
+    void attachTelemetry(telemetry::TelemetryRecorder *recorder);
+    telemetry::TelemetryRecorder *telemetry() { return telem; }
+    /** @} */
+
     /** @{ Fault injection and reporting. */
     /** The fault that aborted the run, if any. */
     const FaultReport *terminalFault() const
@@ -312,6 +328,9 @@ class Machine
     std::unique_ptr<os::BalloonDriver> balloon;
     std::unique_ptr<os::CompactionDaemon> compactor;
     std::optional<vmm::VmmSegmentInfo> vmmSegmentInfo;
+
+    /** Borrowed windowed-metrics recorder (see attachTelemetry). */
+    telemetry::TelemetryRecorder *telem = nullptr;
 
     /** Fault machinery (always built; the plan may be empty). */
     std::unique_ptr<fault::FaultInjector> injector;

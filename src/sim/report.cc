@@ -109,6 +109,30 @@ writeStatsJson(const std::string &path)
     return static_cast<bool>(out);
 }
 
+namespace {
+
+/** The "throughput" object shared by both emv-bench-v1 writers. */
+void
+writeThroughputObject(json::Writer &w, std::uint64_t ops,
+                      std::uint64_t host_ns)
+{
+    w.key("throughput");
+    w.beginObject();
+    w.member("ops", ops);
+    w.member("host_ns", host_ns);
+    w.member("ops_per_sec",
+             host_ns ? static_cast<double>(ops) * 1e9 /
+                           static_cast<double>(host_ns)
+                     : 0.0);
+    w.member("host_ns_per_op",
+             ops ? static_cast<double>(host_ns) /
+                       static_cast<double>(ops)
+                 : 0.0);
+    w.endObject();
+}
+
+} // namespace
+
 void
 writeCellMatrixJson(std::ostream &os, const std::string &title,
                     const std::vector<CellResult> &cells)
@@ -120,6 +144,8 @@ writeCellMatrixJson(std::ostream &os, const std::string &title,
     w.member("title", title);
     w.key("cells");
     w.beginArray();
+    std::uint64_t total_ops = 0;
+    std::uint64_t total_ns = 0;
     for (const auto &cell : cells) {
         w.beginObject();
         w.member("workload", cell.workload);
@@ -137,9 +163,16 @@ writeCellMatrixJson(std::ostream &os, const std::string &title,
         w.member("l2_misses", cell.run.l2Misses);
         w.member("walks", cell.run.walks);
         w.member("cycles_per_walk", cell.run.cyclesPerWalk);
+        w.member("ops", cell.measuredOps);
+        w.member("host_ns", cell.hostNs);
+        w.member("ops_per_sec", cell.opsPerSec());
+        w.member("host_ns_per_op", cell.hostNsPerOp());
         w.endObject();
+        total_ops += cell.measuredOps;
+        total_ns += cell.hostNs;
     }
     w.endArray();
+    writeThroughputObject(w, total_ops, total_ns);
     w.endObject();
     w.finish();
 }
@@ -152,6 +185,34 @@ writeCellMatrixJson(const std::string &path, const std::string &title,
     if (!out)
         return false;
     writeCellMatrixJson(out, title, cells);
+    return static_cast<bool>(out);
+}
+
+void
+writeBenchThroughputJson(std::ostream &os, const std::string &title,
+                         std::uint64_t ops, std::uint64_t host_ns)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.member("schema", "emv-bench-v1");
+    w.member("title", title);
+    w.key("cells");
+    w.beginArray();
+    w.endArray();
+    writeThroughputObject(w, ops, host_ns);
+    w.endObject();
+    w.finish();
+}
+
+bool
+writeBenchThroughputJson(const std::string &path,
+                         const std::string &title, std::uint64_t ops,
+                         std::uint64_t host_ns)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writeBenchThroughputJson(out, title, ops, host_ns);
     return static_cast<bool>(out);
 }
 

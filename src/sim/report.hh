@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -50,7 +51,9 @@ bool writeStatsJson(const std::string &path);
 
 /**
  * Machine-readable companion to the bench bar charts: one object per
- * (workload, config) cell with overheads, misses and walk costs.
+ * (workload, config) cell with overheads, misses, walk costs and
+ * wall-clock throughput (ops_per_sec / host_ns_per_op), plus a
+ * top-level "throughput" object aggregated over every cell.
  * Schema "emv-bench-v1".
  */
 void writeCellMatrixJson(std::ostream &os, const std::string &title,
@@ -58,6 +61,20 @@ void writeCellMatrixJson(std::ostream &os, const std::string &title,
 bool writeCellMatrixJson(const std::string &path,
                          const std::string &title,
                          const std::vector<CellResult> &cells);
+
+/**
+ * emv-bench-v1 output for a bench with no cell matrix: an empty
+ * "cells" array plus the "throughput" object for @p ops trace ops
+ * that took @p host_ns of wall time.
+ */
+void writeBenchThroughputJson(std::ostream &os,
+                              const std::string &title,
+                              std::uint64_t ops,
+                              std::uint64_t host_ns);
+bool writeBenchThroughputJson(const std::string &path,
+                              const std::string &title,
+                              std::uint64_t ops,
+                              std::uint64_t host_ns);
 
 /** "Fig. 11: Big-memory" -> "fig_11_big_memory" (for file names). */
 std::string slugify(const std::string &title);

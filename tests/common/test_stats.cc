@@ -52,6 +52,70 @@ TEST(DistributionTest, EmptyIsZero)
     EXPECT_DOUBLE_EQ(d.variance(), 0.0);
 }
 
+TEST(DistributionTest, PercentileEmptyIsZero)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.0);
+}
+
+TEST(DistributionTest, PercentileSingleSampleClampsExact)
+{
+    // One sample: every quantile clamps to the observed value, so
+    // the octave-midpoint approximation cannot surface at all.
+    Distribution d;
+    d.sample(100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+}
+
+TEST(DistributionTest, PercentileClampsOutOfRangeP)
+{
+    Distribution d;
+    for (double v : {2.0, 8.0, 32.0})
+        d.sample(v);
+    // p is clamped to [0, 1]; the extremes clamp to min and max.
+    EXPECT_DOUBLE_EQ(d.percentile(-1.0), d.percentile(0.0));
+    EXPECT_DOUBLE_EQ(d.percentile(2.0), d.percentile(1.0));
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 32.0);
+    EXPECT_GE(d.percentile(0.0), 2.0);
+}
+
+TEST(DistributionTest, PercentileWithinDocumentedOctaveBound)
+{
+    // The documented contract: the estimate is within a factor of 2
+    // of a true sample value (one-octave buckets, geometric
+    // midpoint representative).
+    Distribution d;
+    for (double v : {3.0, 5.0, 17.0, 33.0, 1000.0, 1025.0})
+        d.sample(v);
+    for (double p : {0.1, 0.5, 0.9, 0.99}) {
+        const double estimate = d.percentile(p);
+        EXPECT_GE(estimate, d.min());
+        EXPECT_LE(estimate, d.max());
+        // Some true sample lies within [estimate/2, estimate*2].
+        bool bracketed = false;
+        for (double v : {3.0, 5.0, 17.0, 33.0, 1000.0, 1025.0})
+            bracketed |= v >= estimate / 2 && v <= estimate * 2;
+        EXPECT_TRUE(bracketed) << "p=" << p << " est=" << estimate;
+    }
+}
+
+TEST(DistributionTest, PercentileSubUnitSamplesUseBucketZero)
+{
+    // Everything below 1.0 lands in bucket 0 (representative 0.5,
+    // clamped to the observed range).
+    Distribution d;
+    d.sample(0.1);
+    d.sample(0.2);
+    d.sample(0.9);
+    const double p50 = d.percentile(0.5);
+    EXPECT_GE(p50, 0.1);
+    EXPECT_LE(p50, 0.9);
+}
+
 TEST(StatGroupTest, StableReferences)
 {
     StatGroup group("g");

@@ -13,8 +13,13 @@
  *     checkpoint when one exists;
  *   - a shard that fails `retries`+1 consecutive times is
  *     quarantined and no longer scheduled;
+ *   - each shard streams emv-metrics-v1 telemetry to
+ *     <outdir>/shard-N-metrics.jsonl (watch the whole fleet live
+ *     with `emv_top outdir/shard-*-metrics.jsonl`; metrics=0
+ *     disables);
  *   - a merged emv-fleet-v1 JSON report records every shard's
- *     outcome, attempts and artifact paths.
+ *     outcome, attempts and artifact paths, plus a telemetry
+ *     rollup of last-window rates and tails.
  *
  * Usage:
  *   emv_fleet [workloads=gups,...] [configs=4K+4K,...] [seeds=42,...]
@@ -23,6 +28,7 @@
  *             [scale=0.25] [ops=1000000] [warmup=200000]
  *             [ckptevery=0] [audit=0] [faults=SPEC] [policy=degrade]
  *             [faultseed=7] [crashafter=N] [hangafter=N]
+ *             [metrics=1] [window=100000]
  *
  * `crashafter`/`hangafter` are forwarded to each shard's FIRST
  * attempt only (deterministic failure injection for tests); retries
@@ -83,6 +89,11 @@ constexpr Knob kKnobs[] = {
     {"faultseed", "forwarded to emvsim"},
     {"crashafter", "forwarded to each shard's first attempt only"},
     {"hangafter", "forwarded to each shard's first attempt only"},
+    {"metrics", "per-shard emv-metrics-v1 JSONL streams "
+                "(<outdir>/shard-N-metrics.jsonl); 0 disables "
+                "(default 1)"},
+    {"window", "telemetry window size in trace ops, forwarded to "
+               "emvsim (default: emvsim's 100000)"},
 };
 
 void
@@ -176,6 +187,49 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * Last newline-terminated line of @p path (the newest complete
+ * emv-metrics-v1 window record; the writer flushes whole lines, so
+ * anything after the final '\n' is a torn write in flight).
+ */
+std::string
+lastCompleteLine(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        return "";
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, got);
+    std::fclose(in);
+    const auto tail = text.rfind('\n');
+    if (tail == std::string::npos)
+        return "";
+    text.resize(tail);
+    const auto prev = text.rfind('\n');
+    return prev == std::string::npos ? text : text.substr(prev + 1);
+}
+
+/**
+ * Value of the first `"key": <number>` at or after @p from in a
+ * compact JSON line; NaN-free streams mean a parse failure returns
+ * a negative sentinel.  Textual extraction keeps emv_fleet free of
+ * the emv library (it is plain POSIX by design); the stream it reads
+ * is validated for real by json_check.
+ */
+double
+extractNumber(const std::string &line, const char *key,
+              std::size_t from = 0)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const auto pos = line.find(needle, from);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
 enum class ShardState {
     Pending,    //!< Waiting for a slot (or for its backoff to end).
     Running,
@@ -217,6 +271,7 @@ struct Shard
     std::string ckptPath;
     std::string statsPath;
     std::string logPath;
+    std::string metricsPath;  //!< Empty when metrics=0.
 };
 
 struct FleetOptions
@@ -240,6 +295,9 @@ struct FleetOptions
     std::string faultseed;
     std::string crashafter;  //!< First attempt only.
     std::string hangafter;   //!< First attempt only.
+    bool metrics = true;     //!< Stream per-shard telemetry.
+    std::string window;      //!< Telemetry window ops (emvsim default
+                             //!< when empty).
 };
 
 /** Fork + exec one attempt; returns the child pid or -1. */
@@ -277,6 +335,14 @@ spawnShard(const FleetOptions &opts, Shard &shard, bool resume)
         args.push_back("ckptevery=" + opts.ckptevery);
     args.push_back("statsjson=" + shard.statsPath);
     args.push_back("stats=0");
+    // Observability knobs travel on every attempt, resumes
+    // included — emvsim accepts them alongside resume= and the
+    // restored run continues its window numbering in a fresh file.
+    if (!shard.metricsPath.empty()) {
+        args.push_back("metrics=" + shard.metricsPath);
+        if (!opts.window.empty())
+            args.push_back("window=" + opts.window);
+    }
 
     std::vector<char *> argv;
     argv.reserve(args.size() + 1);
@@ -333,6 +399,11 @@ writeReport(const FleetOptions &opts,
     std::fprintf(out, "  \"shards\": [\n");
     for (std::size_t i = 0; i < shards.size(); ++i) {
         const Shard &s = shards[i];
+        std::string metrics_member;
+        if (!s.metricsPath.empty()) {
+            metrics_member = ", \"metrics_jsonl\": \"" +
+                             jsonEscape(s.metricsPath) + "\"";
+        }
         std::fprintf(
             out,
             "    {\"id\": %u, \"workload\": \"%s\", "
@@ -340,15 +411,51 @@ writeReport(const FleetOptions &opts,
             "\"status\": \"%s\", \"attempts\": %u, "
             "\"hangs\": %u, \"resumes\": %u, "
             "\"exit_code\": %d, "
-            "\"stats_json\": \"%s\", \"log\": \"%s\"}%s\n",
+            "\"stats_json\": \"%s\", \"log\": \"%s\"%s}%s\n",
             s.id, jsonEscape(s.workload).c_str(),
             jsonEscape(s.config).c_str(), s.seed.c_str(),
             shardStateName(s.state), s.attempts, s.hangs,
             s.resumes, s.lastExit, jsonEscape(s.statsPath).c_str(),
-            jsonEscape(s.logPath).c_str(),
+            jsonEscape(s.logPath).c_str(), metrics_member.c_str(),
             i + 1 < shards.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
+
+    // Telemetry rollup: the newest window record of every reporting
+    // shard.  Fleet ops/sec sums last-window rates (a liveness
+    // aggregate, not a run average); worst_p99 is the worst windowed
+    // tail, worst_cumulative_p99 the worst whole-run tail.
+    unsigned reporting = 0;
+    double fleet_ops_per_sec = 0.0;
+    double worst_p99 = -1.0;
+    double worst_cum_p99 = -1.0;
+    for (const auto &shard : shards) {
+        if (shard.metricsPath.empty())
+            continue;
+        const std::string line = lastCompleteLine(shard.metricsPath);
+        if (line.empty() ||
+            line.find("\"emv-metrics-v1\"") == std::string::npos)
+            continue;
+        ++reporting;
+        const double rate = extractNumber(line, "ops_per_sec");
+        if (rate > 0)
+            fleet_ops_per_sec += rate;
+        worst_p99 = std::max(worst_p99, extractNumber(line, "p99"));
+        const auto cum = line.find("\"cumulative_latency\"");
+        if (cum != std::string::npos) {
+            worst_cum_p99 = std::max(
+                worst_cum_p99, extractNumber(line, "p99", cum));
+        }
+    }
+    std::fprintf(out,
+                 "  \"telemetry\": {\"shards_reporting\": %u, "
+                 "\"fleet_ops_per_sec\": %.3f, "
+                 "\"worst_window_p99\": %.3f, "
+                 "\"worst_cumulative_p99\": %.3f},\n",
+                 reporting, fleet_ops_per_sec,
+                 std::max(0.0, worst_p99),
+                 std::max(0.0, worst_cum_p99));
+
     std::fprintf(out,
                  "  \"summary\": {\"total\": %zu, "
                  "\"completed\": %u, \"terminal\": %u, "
@@ -425,6 +532,10 @@ main(int argc, char **argv)
         opts.crashafter = v;
     if (const char *v = argValue(argc, argv, "hangafter"))
         opts.hangafter = v;
+    if (const char *v = argValue(argc, argv, "metrics"))
+        opts.metrics = std::atoi(v) != 0;
+    if (const char *v = argValue(argc, argv, "window"))
+        opts.window = v;
 
     if (const char *v = argValue(argc, argv, "emvsim")) {
         opts.emvsimPath = v;
@@ -467,6 +578,8 @@ main(int argc, char **argv)
                 shard.ckptPath = stem + ".ckpt";
                 shard.statsPath = stem + "-stats.json";
                 shard.logPath = stem + ".log";
+                if (opts.metrics)
+                    shard.metricsPath = stem + "-metrics.jsonl";
                 shards.push_back(shard);
             }
         }

@@ -36,6 +36,14 @@
  *                  round-trip) — state that can be saved but not
  *                  restored, or restored but never tested, silently
  *                  breaks crash-safe resume.
+ *   hot-path-stat-lookup
+ *                  no string-keyed StatRegistry lookups (counter(
+ *                  "name") and friends) inside the Mmu::translate
+ *                  call tree in core/mmu.cc — every translation pays
+ *                  for them, so the constructor caches the pointers
+ *                  once and the hot path bumps them directly; a
+ *                  map lookup per op also skews the telemetry
+ *                  throughput meter it feeds.
  *
  * Usage: emv_lint <repo-root>
  * Exits 0 when clean; prints "file:line: [rule] message" per
@@ -395,6 +403,66 @@ finalizeCkptRoundTrip(const fs::path &root)
 }
 
 // ---------------------------------------------------------------------
+// Rule: hot-path-stat-lookup
+// ---------------------------------------------------------------------
+
+void
+checkHotPathStatLookup(const fs::path &file, const std::string &rel,
+                       const std::string &stripped)
+{
+    if (rel != "core/mmu.cc")
+        return;
+    // The translate call tree: everything a single translation can
+    // execute.  Cold control-plane methods (set*/flush*/fraction*)
+    // may look stats up by name; these may not.
+    static const char *const hot[] = {
+        "translate", "translateImpl", "doWalk",
+        "nestedToHost", "segmentToHost", "priceTrace",
+    };
+    static const std::regex lookup(
+        R"((counter|scalar|distribution|counterValue|scalarValue)\s*\(\s*")");
+    for (const char *name : hot) {
+        const std::regex def("Mmu::" + std::string(name) +
+                             R"(\s*\()");
+        auto from = stripped.cbegin();
+        std::smatch m;
+        while (std::regex_search(from, stripped.cend(), m, def)) {
+            auto it = m[0].second;
+            // Find the body; a ';' first would mean a declaration.
+            while (it != stripped.cend() && *it != '{' && *it != ';')
+                ++it;
+            if (it == stripped.cend() || *it == ';') {
+                from = it;
+                continue;
+            }
+            int depth = 0;
+            const auto body_begin = it;
+            for (; it != stripped.cend(); ++it) {
+                if (*it == '{')
+                    ++depth;
+                else if (*it == '}' && --depth == 0)
+                    break;
+            }
+            const std::string body(body_begin, it);
+            std::smatch hit;
+            if (std::regex_search(body, hit, lookup)) {
+                const auto off = static_cast<std::size_t>(
+                    (body_begin - stripped.cbegin()) +
+                    hit.position());
+                const int line = 1 + static_cast<int>(std::count(
+                    stripped.begin(), stripped.begin() + off, '\n'));
+                report(file, line, "hot-path-stat-lookup",
+                       "string-keyed stat lookup inside Mmu::" +
+                           std::string(name) +
+                           "; cache the counter/scalar pointer in "
+                           "the constructor and bump it directly");
+            }
+            from = it;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------
 
@@ -531,6 +599,7 @@ main(int argc, char **argv)
         checkRawOutput(path, rel, lines);
         checkNoFatalRecovery(path, rel, lines);
         checkCkptRoundTrip(path, rel, stripped);
+        checkHotPathStatLookup(path, rel, stripped);
         if (ext == ".hh")
             checkPragmaOnce(path, stripped);
         checkStatNames(path, text);

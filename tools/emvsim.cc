@@ -7,7 +7,8 @@
  *   emvsim [workload=gups] [config=4K+4K] [scale=0.25]
  *          [ops=1000000] [warmup=200000] [seed=42] [badframes=0]
  *          [fragguest=0] [fraghost=0] [stats=1]
- *          [statsjson=stats.json] [trace=Tlb,Walk]
+ *          [statsjson=stats.json] [metrics=out.jsonl]
+ *          [window=100000] [trace=Tlb,Walk]
  *          [tracefile=trace.log] [profile=1] [audit=1]
  *          [faults=dram@5000x8] [policy=degrade] [faultseed=7]
  *          [ckpt=run.ckpt] [ckptevery=100000] [resume=run.ckpt]
@@ -56,6 +57,18 @@
  *
  * Observability:
  *   statsjson=PATH   dump every stat group as emv-stats-v1 JSON.
+ *   metrics=PATH     stream emv-metrics-v1 windowed snapshots (one
+ *                    JSON object per line) to PATH over the measured
+ *                    interval: per-window counter deltas, wall-clock
+ *                    ops/sec, latency percentiles (p50/p99/p999),
+ *                    escape-filter fill, mode transitions and fault
+ *                    events.  The file is truncated at open; each
+ *                    line is written atomically so `emv_top` can
+ *                    tail it live.  Works with resume=: a resumed
+ *                    run restores its window cursor from the
+ *                    checkpoint and continues at the next window.
+ *   window=N         telemetry window size in measured trace ops
+ *                    (default 100000; requires metrics=).
  *   trace=FLAGS      comma-separated debug-trace flags (Tlb, Walk,
  *                    Segment, Filter, Balloon, Compaction, Vmm,
  *                    Hotplug, Fault, or All).
@@ -90,6 +103,7 @@
 #include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/profile.hh"
+#include "common/telemetry.hh"
 #include "fault/fault_plan.hh"
 #include "sim/checkpoint.hh"
 #include "sim/experiment.hh"
@@ -132,6 +146,10 @@ constexpr Knob kKnobs[] = {
     {"fraghost", "host fragmentation: max free-run MB (0 = off)"},
     {"stats", "print counter dumps (default 1)"},
     {"statsjson", "dump every stat group as emv-stats-v1 JSON"},
+    {"metrics", "stream emv-metrics-v1 windowed snapshots to this "
+                "JSONL path (tail with emv_top)"},
+    {"window", "telemetry window size in measured trace ops "
+               "(default 100000; requires metrics=)"},
     {"trace", "debug-trace flags, e.g. Tlb,Walk or All"},
     {"tracefile", "send trace records to this file"},
     {"profile", "print a phase-timing summary (default 0)"},
@@ -351,6 +369,25 @@ main(int argc, char **argv)
         return kExitUsageOrAudit;
     }
 
+    std::string metrics_path;
+    std::uint64_t window_ops = 100000;
+    if (const char *v = argValue(argc, argv, "metrics"))
+        metrics_path = v;
+    if (const char *v = argValue(argc, argv, "window")) {
+        if (metrics_path.empty()) {
+            std::fprintf(stderr,
+                         "emvsim: window= requires metrics=\n");
+            return kExitUsageOrAudit;
+        }
+        window_ops = std::strtoull(v, nullptr, 10);
+        if (window_ops == 0) {
+            std::fprintf(stderr,
+                         "emvsim: window= must be a positive op "
+                         "count\n");
+            return kExitUsageOrAudit;
+        }
+    }
+
     sim::LoadedCheckpoint loaded;
     if (resume_path) {
         std::string error;
@@ -424,6 +461,40 @@ main(int argc, char **argv)
 
     sim::Machine machine(cfg, *wl);
 
+    std::optional<telemetry::TelemetryRecorder> recorder;
+    if (!metrics_path.empty()) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.path = metrics_path;
+        tcfg.windowOps = window_ops;
+        recorder.emplace(tcfg);
+    }
+    telemetry::TelemetryRecorder *telem = nullptr;
+
+    // Telemetry attaches at the start of the measured interval (the
+    // warmup-boundary resetStats) so recorder op space == measured
+    // ops.  On a resume past that boundary it attaches immediately,
+    // restoring its window cursor from the checkpoint.
+    const auto attachTelemetry = [&](bool from_checkpoint) {
+        if (!recorder || telem)
+            return true;
+        machine.attachTelemetry(&*recorder);
+        telem = &*recorder;
+        std::string error;
+        if (from_checkpoint &&
+            !sim::restoreTelemetry(loaded, *recorder, error)) {
+            std::fprintf(stderr, "emvsim: cannot resume '%s': %s\n",
+                         resume_path, error.c_str());
+            return false;
+        }
+        if (!recorder->openSink(&error)) {
+            std::fprintf(stderr,
+                         "emvsim: cannot write metrics '%s': %s\n",
+                         metrics_path.c_str(), error.c_str());
+            return false;
+        }
+        return true;
+    };
+
     bool did_reset = false;
     if (resume_path) {
         std::string error;
@@ -435,6 +506,8 @@ main(int argc, char **argv)
         // A checkpoint taken at or past the warmup boundary was
         // written after resetStats(); do not reset again.
         did_reset = meta.warmupDone == meta.warmupOps;
+        if (did_reset && !attachTelemetry(true))
+            return kExitUsageOrAudit;
         std::printf("resumed from %s (warmup %llu/%llu, measured "
                     "%llu/%llu)\n", resume_path,
                     static_cast<unsigned long long>(meta.warmupDone),
@@ -450,7 +523,8 @@ main(int argc, char **argv)
         if (ckpt_path.empty())
             return true;
         std::string error;
-        if (!sim::saveCheckpoint(ckpt_path, meta, machine, error)) {
+        if (!sim::saveCheckpoint(ckpt_path, meta, machine, error,
+                                 telem)) {
             std::fprintf(stderr, "emvsim: checkpoint failed: %s\n",
                          error.c_str());
             return false;
@@ -467,6 +541,8 @@ main(int argc, char **argv)
         if (!did_reset && meta.warmupDone == meta.warmupOps) {
             machine.resetStats();
             did_reset = true;
+            if (!attachTelemetry(false))
+                return kExitUsageOrAudit;
         }
         const bool in_warmup = meta.warmupDone < meta.warmupOps;
         const std::uint64_t remaining =
@@ -504,6 +580,8 @@ main(int argc, char **argv)
         if (!did_reset && meta.warmupDone == meta.warmupOps) {
             machine.resetStats();
             did_reset = true;
+            if (!attachTelemetry(false))
+                return kExitUsageOrAudit;
         }
 
         const std::uint64_t total =
@@ -542,6 +620,11 @@ main(int argc, char **argv)
     if (!ckpt_path.empty() && !flushCheckpoint())
         return kExitUsageOrAudit;
 
+    // Interrupted runs leave the open window in the checkpoint for
+    // the resumed run to finish; completed runs flush it here.
+    if (telem)
+        telem->finish();
+
     const auto run = machine.measuredResult();
 
     std::printf("\n-- results --\n");
@@ -562,6 +645,12 @@ main(int argc, char **argv)
     std::printf("guest segment: %s\nVMM segment:   %s\n",
                 machine.guestSegment().toString().c_str(),
                 machine.vmmSegment().toString().c_str());
+    if (telem) {
+        std::printf("metrics:       %s (%llu windows)\n",
+                    metrics_path.c_str(),
+                    static_cast<unsigned long long>(
+                        telem->windowsEmitted()));
+    }
     if (!params.faultSpec.empty()) {
         std::printf("final mode:    %s\n",
                     core::modeName(machine.config().mode));

@@ -6,6 +6,7 @@
  *   json_check <stats.json> [trace.log]
  *   json_check <bench.json>
  *   json_check <fleet.json>
+ *   json_check <metrics.jsonl>
  *   json_check <directory>
  *
  * A .json argument must parse as strict JSON and carry one of the
@@ -13,15 +14,27 @@
  *
  *   emv-stats-v1 — at least one named stat group with at least one
  *                  counter (the emvsim statsjson= contract);
- *   emv-bench-v1 — a non-empty title and a non-empty "cells" array
- *                  whose entries each name a workload, a config, and
- *                  a finite numeric overhead (the BENCH_*.json
- *                  contract from bench/bench_util.hh);
+ *   emv-bench-v1 — a non-empty title, a "cells" array (possibly
+ *                  empty — a bench with no simulated cells still
+ *                  reports) whose entries each name a workload, a
+ *                  config, and a finite numeric overhead, and a
+ *                  "throughput" object carrying ops/host_ns plus the
+ *                  derived ops_per_sec / host_ns_per_op (the
+ *                  BENCH_*.json contract from bench/bench_util.hh);
  *   emv-fleet-v1 — the emv_fleet shard report: a jobs count, a
  *                  non-empty "shards" array whose entries carry the
  *                  per-shard identity, status and retry bookkeeping,
  *                  and a "summary" rollup consistent with the shard
  *                  list.
+ *
+ * A .jsonl argument is an emv-metrics-v1 telemetry stream (emvsim
+ * metrics=): every line must be a strict, duplicate-key-free JSON
+ * object tagged emv-metrics-v1 with window indices increasing by one
+ * (a resumed stream starts at its checkpointed index, not zero),
+ * op_start chaining to the previous op_end, op_end > op_start,
+ * non-negative deltas, and finite rate members — the
+ * contract that lets emv_top and the fleet rollup trust the last
+ * line of a live stream.
  *
  * All schemas additionally reject documents containing duplicate
  * object keys or non-finite numbers (strtod happily parses "1e999"
@@ -140,7 +153,7 @@ checkStats(const std::string &path, const emv::json::Value &root)
     return 0;
 }
 
-/** emv-bench-v1: titled, non-empty cells with workload/config/overhead. */
+/** emv-bench-v1: titled cells + mandatory throughput section. */
 int
 checkBench(const std::string &path, const emv::json::Value &root)
 {
@@ -150,11 +163,30 @@ checkBench(const std::string &path, const emv::json::Value &root)
                      path.c_str());
         return 1;
     }
+    // An empty cells array is legal (tab02 reports on a static
+    // traits table, running no cells), but the member must exist —
+    // and every bench must meter its wall-clock throughput.
     const emv::json::Value *cells = root.find("cells");
-    if (!cells || !cells->isArray() || cells->array.empty()) {
-        std::fprintf(stderr, "json_check: %s: no bench cells\n",
+    if (!cells || !cells->isArray()) {
+        std::fprintf(stderr, "json_check: %s: missing cells array\n",
                      path.c_str());
         return 1;
+    }
+    const emv::json::Value *tp = root.find("throughput");
+    if (!tp || !tp->isObject()) {
+        std::fprintf(stderr, "json_check: %s: missing throughput "
+                     "section\n", path.c_str());
+        return 1;
+    }
+    for (const char *field :
+         {"ops", "host_ns", "ops_per_sec", "host_ns_per_op"}) {
+        const emv::json::Value *v = tp->find(field);
+        if (!isFiniteNumber(v) || v->number < 0) {
+            std::fprintf(stderr, "json_check: %s: throughput lacks "
+                         "a finite non-negative %s\n", path.c_str(),
+                         field);
+            return 1;
+        }
     }
     for (std::size_t i = 0; i < cells->array.size(); ++i) {
         const emv::json::Value &cell = cells->array[i];
@@ -172,8 +204,124 @@ checkBench(const std::string &path, const emv::json::Value &root)
             return 1;
         }
     }
-    std::printf("json_check: %s ok (%zu cells)\n", path.c_str(),
-                cells->array.size());
+    std::printf("json_check: %s ok (%zu cells, %.0f ops)\n",
+                path.c_str(), cells->array.size(),
+                tp->find("ops")->number);
+    return 0;
+}
+
+/**
+ * emv-metrics-v1 JSONL: one window record per line, each a strict
+ * JSON object, with the cross-line chaining invariants that make the
+ * stream tail-able (see the file comment).
+ */
+int
+checkMetricsJsonl(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "json_check: cannot read '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::size_t lineno = 0;
+    std::size_t windows = 0;
+    // A resumed run reopens the sink fresh but continues window
+    // numbering from its checkpoint, so the first record sets the
+    // baseline; every later one must advance by exactly one.
+    double expect_window = -1;  // < 0: no previous window yet.
+    double prev_op_end = -1;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const auto fail = [&](const char *what) {
+            std::fprintf(stderr, "json_check: %s:%zu: %s\n",
+                         path.c_str(), lineno, what);
+            return 1;
+        };
+        emv::json::Value rec;
+        if (!emv::json::parse(line, rec,
+                              /*rejectDuplicateKeys=*/true))
+            return fail("not a strict JSON object line");
+        std::string non_finite_at;
+        if (!allNumbersFinite(rec, "", non_finite_at)) {
+            std::fprintf(stderr, "json_check: %s:%zu: non-finite "
+                         "number at %s\n", path.c_str(), lineno,
+                         non_finite_at.c_str());
+            return 1;
+        }
+        if (!rec.isObject())
+            return fail("line is not an object");
+        const emv::json::Value *schema = rec.find("schema");
+        if (!isString(schema) ||
+            schema->string != "emv-metrics-v1")
+            return fail("missing emv-metrics-v1 schema tag");
+
+        const emv::json::Value *window = rec.find("window");
+        const emv::json::Value *op_start = rec.find("op_start");
+        const emv::json::Value *op_end = rec.find("op_end");
+        if (!isFiniteNumber(window) || !isFiniteNumber(op_start) ||
+            !isFiniteNumber(op_end))
+            return fail("missing window/op_start/op_end");
+        if (expect_window >= 0 && window->number != expect_window)
+            return fail("window index does not increase by one");
+        if (window->number < 0)
+            return fail("negative window index");
+        if (prev_op_end >= 0 && op_start->number != prev_op_end)
+            return fail("op_start does not chain to the previous "
+                        "window's op_end");
+        if (op_end->number <= op_start->number)
+            return fail("op_end must exceed op_start");
+
+        const emv::json::Value *rate = rec.find("rate");
+        if (!rate || !rate->isObject() ||
+            !isFiniteNumber(rate->find("ops_per_sec")) ||
+            !isFiniteNumber(rate->find("host_ns_per_op")))
+            return fail("missing rate.ops_per_sec / "
+                        "rate.host_ns_per_op");
+
+        const emv::json::Value *deltas = rec.find("deltas");
+        if (!deltas || !deltas->isObject())
+            return fail("missing deltas object");
+        for (const auto &[name, v] : deltas->object) {
+            if (!v.isNumber() || v.number < 0) {
+                std::fprintf(stderr, "json_check: %s:%zu: negative "
+                             "delta '%s'\n", path.c_str(), lineno,
+                             name.c_str());
+                return 1;
+            }
+        }
+
+        // The latency block is optional (no latency source
+        // attached), but when present its tails must be ordered.
+        if (const emv::json::Value *lat = rec.find("latency")) {
+            const emv::json::Value *p50 = lat->find("p50");
+            const emv::json::Value *p99 = lat->find("p99");
+            const emv::json::Value *p999 = lat->find("p999");
+            if (!isFiniteNumber(p50) || !isFiniteNumber(p99) ||
+                !isFiniteNumber(p999))
+                return fail("latency block lacks p50/p99/p999");
+            if (p50->number > p99->number ||
+                p99->number > p999->number)
+                return fail("latency percentiles are not "
+                            "monotonic");
+        }
+
+        expect_window = window->number + 1;
+        prev_op_end = op_end->number;
+        ++windows;
+    }
+    if (windows == 0) {
+        std::fprintf(stderr, "json_check: %s: no window records\n",
+                     path.c_str());
+        return 1;
+    }
+    std::printf("json_check: %s ok (%zu windows, %.0f ops)\n",
+                path.c_str(), windows, prev_op_end);
     return 0;
 }
 
@@ -361,13 +509,16 @@ main(int argc, char **argv)
 {
     if (argc < 2 || argc > 3) {
         std::fprintf(stderr, "usage: json_check <stats.json|"
-                     "bench.json|fleet.json|dir> [trace.log]\n");
+                     "bench.json|fleet.json|metrics.jsonl|dir> "
+                     "[trace.log]\n");
         return 2;
     }
 
     int rc;
     if (fs::is_directory(argv[1]))
         rc = checkBenchDir(argv[1]);
+    else if (fs::path(argv[1]).extension() == ".jsonl")
+        rc = checkMetricsJsonl(argv[1]);
     else
         rc = checkJsonFile(argv[1]);
     if (rc != 0)
