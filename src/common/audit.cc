@@ -1,24 +1,39 @@
 #include "common/audit.hh"
 
+#include "common/thread_safety.hh"
 #include "common/trace.hh"
 
 namespace emv::audit {
 
 namespace {
 
-bool failFastFlag = false;
+std::atomic<bool> failFastFlag{false};
 
 /**
  * Counters live in a function-local StatGroup so the first audit use
  * (possibly from a static initializer in a test) still finds the
  * registry alive, and the group survives until process exit.
+ *
+ * The audit counters are the one stat group shared by every worker
+ * thread, so their increments go through `mutex` (a leaf lock, per
+ * thread_safety.hh: never held across emitRecord(), which takes the
+ * trace sink lock).  Exporters read them through the registry
+ * without this lock — only at quiescence, like all stat exports.
  */
 struct AuditStats
 {
-    StatGroup group{"audit"};
-    Counter &checks = group.counter("checks");
-    Counter &failures = group.counter("failures");
-    Counter &mismatches = group.counter("mismatches");
+    // The group's *structure* (name, parent, counter set) is fixed
+    // during construction and never changes after; only the counter
+    // values move, and those go through the guarded pointers below.
+    // Exporters read it registry-side at quiescence.
+    EMV_THREAD_CONFINED StatGroup group{"audit"};
+    Mutex mutex;
+    Counter *const checks EMV_PT_GUARDED_BY(mutex) =
+        &group.counter("checks");
+    Counter *const failures EMV_PT_GUARDED_BY(mutex) =
+        &group.counter("failures");
+    Counter *const mismatches EMV_PT_GUARDED_BY(mutex) =
+        &group.counter("mismatches");
 
     AuditStats() { group.setParent("machine"); }
 };
@@ -44,24 +59,30 @@ emitRecord(const std::string &msg)
 
 namespace detail {
 
-std::uint32_t auditMask = 0;
+std::atomic<std::uint32_t> auditMask{0};
 
 void
 countCheck()
 {
-    ++auditStats().checks;
+    auto &stats = auditStats();
+    LockGuard lock(stats.mutex);
+    ++*stats.checks;
 }
 
 void
 failImpl(const char *kind, const char *expr, const char *file,
          int line, const std::string &msg)
 {
-    ++auditStats().failures;
+    {
+        auto &stats = auditStats();
+        LockGuard lock(stats.mutex);
+        ++*stats.failures;
+    }
     const std::string record = emv::detail::format(
         "%s failed: %s (%s) at %s:%d", kind, msg.c_str(), expr, file,
         line);
     emitRecord(record);
-    if (failFastFlag)
+    if (failFastFlag.load(std::memory_order_relaxed))
         emv_panic("audit %s", record.c_str());
 }
 
@@ -70,7 +91,8 @@ failImpl(const char *kind, const char *expr, const char *file,
 void
 setEnabled(bool on)
 {
-    detail::auditMask = on ? 1u : 0u;
+    detail::auditMask.store(on ? 1u : 0u,
+                            std::memory_order_relaxed);
     if (on)
         auditStats();  // Materialize machine.audit in the registry.
 }
@@ -78,13 +100,13 @@ setEnabled(bool on)
 void
 setFailFast(bool on)
 {
-    failFastFlag = on;
+    failFastFlag.store(on, std::memory_order_relaxed);
 }
 
 bool
 failFast()
 {
-    return failFastFlag;
+    return failFastFlag.load(std::memory_order_relaxed);
 }
 
 StatGroup &
@@ -96,33 +118,45 @@ stats()
 std::uint64_t
 checkCount()
 {
-    return auditStats().checks.value();
+    auto &stats = auditStats();
+    LockGuard lock(stats.mutex);
+    return stats.checks->value();
 }
 
 std::uint64_t
 failureCount()
 {
-    return auditStats().failures.value();
+    auto &stats = auditStats();
+    LockGuard lock(stats.mutex);
+    return stats.failures->value();
 }
 
 std::uint64_t
 mismatchCount()
 {
-    return auditStats().mismatches.value();
+    auto &stats = auditStats();
+    LockGuard lock(stats.mutex);
+    return stats.mismatches->value();
 }
 
 void
 resetCounters()
 {
-    auditStats().group.resetAll();
+    auto &stats = auditStats();
+    LockGuard lock(stats.mutex);
+    stats.group.resetAll();
 }
 
 void
 reportMismatch(const std::string &msg)
 {
-    ++auditStats().mismatches;
+    {
+        auto &stats = auditStats();
+        LockGuard lock(stats.mutex);
+        ++*stats.mismatches;
+    }
     emitRecord("mismatch: " + msg);
-    if (failFastFlag)
+    if (failFastFlag.load(std::memory_order_relaxed))
         emv_panic("audit mismatch: %s", msg.c_str());
 }
 

@@ -35,6 +35,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -44,8 +45,11 @@
 namespace emv::audit {
 
 namespace detail {
-/** Non-zero when auditing is on; tested before anything else. */
-extern std::uint32_t auditMask;
+/** Non-zero when auditing is on; tested before anything else.
+ *  Atomic (relaxed) so the hot-path gate is race-free when worker
+ *  threads audit while a driver thread toggles; the counters behind
+ *  it are mutex-guarded in audit.cc. */
+extern std::atomic<std::uint32_t> auditMask;
 
 /** Count one evaluated contract. */
 void countCheck();
@@ -59,7 +63,8 @@ void failImpl(const char *kind, const char *expr, const char *file,
 inline bool
 enabled()
 {
-    return __builtin_expect(detail::auditMask != 0, 0);
+    return __builtin_expect(
+        detail::auditMask.load(std::memory_order_relaxed) != 0, 0);
 }
 
 /** Turn runtime auditing on or off (idempotent). */

@@ -1,24 +1,28 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <vector>
 
 namespace emv {
 
 namespace {
-bool quiet = false;
+/** Atomic so bench drivers may toggle while workers log; relaxed is
+ *  fine — it only gates output, it orders nothing.  The records
+ *  themselves are single fprintf calls (atomic per POSIX stdio). */
+std::atomic<bool> quiet{false};
 } // namespace
 
 void
 setQuietLogging(bool q)
 {
-    quiet = q;
+    quiet.store(q, std::memory_order_relaxed);
 }
 
 bool
 quietLogging()
 {
-    return quiet;
+    return quiet.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -61,14 +65,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet.load(std::memory_order_relaxed))
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet.load(std::memory_order_relaxed))
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -8,8 +8,8 @@ namespace emv::prof {
 
 namespace detail {
 
-bool enabledFlag = false;
-PhaseRecord records[static_cast<unsigned>(Phase::NumPhases)];
+std::atomic<bool> enabledFlag{false};
+AtomicPhaseRecord records[static_cast<unsigned>(Phase::NumPhases)];
 
 } // namespace detail
 
@@ -28,14 +28,16 @@ static_assert(std::size(kPhaseNames) ==
 void
 setEnabled(bool on)
 {
-    detail::enabledFlag = on;
+    detail::enabledFlag.store(on, std::memory_order_relaxed);
 }
 
 void
 reset()
 {
-    for (auto &rec : detail::records)
-        rec = detail::PhaseRecord{};
+    for (auto &rec : detail::records) {
+        rec.calls.store(0, std::memory_order_relaxed);
+        rec.ns.store(0, std::memory_order_relaxed);
+    }
 }
 
 const char *
@@ -50,7 +52,9 @@ phaseName(Phase phase)
 detail::PhaseRecord
 phaseRecord(Phase phase)
 {
-    return detail::records[static_cast<unsigned>(phase)];
+    const auto &rec = detail::records[static_cast<unsigned>(phase)];
+    return {rec.calls.load(std::memory_order_relaxed),
+            rec.ns.load(std::memory_order_relaxed)};
 }
 
 void
@@ -58,7 +62,8 @@ report(std::ostream &os)
 {
     bool any = false;
     for (const auto &rec : detail::records)
-        any = any || rec.calls != 0;
+        any = any ||
+              rec.calls.load(std::memory_order_relaxed) != 0;
     if (!any) {
         os << "profile: no instrumented phases ran "
               "(enable with profile=1 before the run)\n";
@@ -72,7 +77,7 @@ report(std::ostream &os)
     os << buf;
     for (unsigned i = 0;
          i < static_cast<unsigned>(Phase::NumPhases); ++i) {
-        const auto &rec = detail::records[i];
+        const auto rec = phaseRecord(static_cast<Phase>(i));
         if (rec.calls == 0)
             continue;
         std::snprintf(buf, sizeof(buf),

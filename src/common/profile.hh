@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <ostream>
@@ -34,20 +35,35 @@ enum class Phase : unsigned {
 
 namespace detail {
 
+/** Plain (calls, ns) snapshot returned to callers. */
 struct PhaseRecord
 {
     std::uint64_t calls = 0;
     std::uint64_t ns = 0;
 };
 
-extern bool enabledFlag;
-extern PhaseRecord records[static_cast<unsigned>(Phase::NumPhases)];
+/** Live accumulator: lock-free relaxed adds from any thread.  The
+ *  two fields are independently atomic, so a concurrent reader may
+ *  see calls/ns from different instants — fine for a profile. */
+struct AtomicPhaseRecord
+{
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> ns{0};
+};
+
+extern std::atomic<bool> enabledFlag;
+extern AtomicPhaseRecord
+    records[static_cast<unsigned>(Phase::NumPhases)];
 
 } // namespace detail
 
 /** Globally enable/disable phase timing (off by default). */
 void setEnabled(bool on);
-inline bool enabled() { return detail::enabledFlag; }
+inline bool
+enabled()
+{
+    return detail::enabledFlag.load(std::memory_order_relaxed);
+}
 
 /** Zero all phase records. */
 void reset();
@@ -71,21 +87,23 @@ class Scope
   public:
     explicit Scope(Phase phase) : phase(phase)
     {
-        if (detail::enabledFlag)
+        if (enabled())
             start = std::chrono::steady_clock::now();
     }
 
     ~Scope()
     {
-        if (!detail::enabledFlag)
+        if (!enabled())
             return;
         const auto stop = std::chrono::steady_clock::now();
         auto &rec = detail::records[static_cast<unsigned>(phase)];
-        ++rec.calls;
-        rec.ns += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                stop - start)
-                .count());
+        rec.calls.fetch_add(1, std::memory_order_relaxed);
+        rec.ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    stop - start)
+                    .count()),
+            std::memory_order_relaxed);
     }
 
     Scope(const Scope &) = delete;

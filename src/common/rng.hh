@@ -25,6 +25,13 @@ class Decoder;
  * Small, fast, and high quality; good enough for workload synthesis
  * and far more reproducible across platforms than std::mt19937
  * pipelines through distribution objects.
+ *
+ * Thread-safety: none by design.  Each Rng is a deterministic
+ * stream owned by exactly one component (machine, workload,
+ * injector) and advanced only from that owner's thread; sharing a
+ * stream across threads would make the draw order — and therefore
+ * every checkpoint — schedule-dependent.  The threaded runner gives
+ * each Machine its own seed instead of sharing streams.
  */
 class Rng
 {

@@ -18,14 +18,14 @@ StatRegistry::instance()
 void
 StatRegistry::add(StatGroup *group)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     entries.push_back(group);
 }
 
 void
 StatRegistry::remove(StatGroup *group)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     entries.erase(std::remove(entries.begin(), entries.end(), group),
                   entries.end());
 }
@@ -35,7 +35,9 @@ StatRegistry::groups() const
 {
     std::vector<const StatGroup *> out;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        // Snapshot under the leaf lock; sort (and let callers
+        // visit) outside it so callbacks may re-enter the registry.
+        LockGuard lock(mutex);
         out.assign(entries.begin(), entries.end());
     }
     std::stable_sort(out.begin(), out.end(),
@@ -69,7 +71,7 @@ StatRegistry::visitAll(StatVisitor &visitor) const
 std::size_t
 StatRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     return entries.size();
 }
 

@@ -17,41 +17,58 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/thread_safety.hh"
 
 namespace emv {
 
-/** Registry of all live StatGroups (identity-based, thread-safe). */
+/**
+ * Registry of all live StatGroups (identity-based, thread-safe).
+ *
+ * Locking contract: `mutex` is a leaf lock guarding only the entry
+ * list.  It is never held across a callback — groups(), visitAll()
+ * and groupsUnder() snapshot the list under the lock, release it,
+ * then sort/visit the snapshot.  Visitors may therefore re-enter
+ * the registry freely (a visitor constructing or destroying a
+ * StatGroup, or querying size(), cannot deadlock), and every public
+ * method is annotated EMV_EXCLUDES(mutex) so the thread-safety
+ * analysis rejects any future path that would call back in while
+ * holding it.  Note the snapshot is of *registration*: concurrent
+ * group destruction during a visit is still a use-after-free, so
+ * exporters run only while the groups they cover are quiescent
+ * (e.g. after worker threads joined).
+ */
 class StatRegistry
 {
   public:
     static StatRegistry &instance();
 
-    void add(StatGroup *group);
-    void remove(StatGroup *group);
+    void add(StatGroup *group) EMV_EXCLUDES(mutex);
+    void remove(StatGroup *group) EMV_EXCLUDES(mutex);
 
     /** Live groups sorted by fullName (ties keep creation order). */
-    std::vector<const StatGroup *> groups() const;
+    std::vector<const StatGroup *> groups() const
+        EMV_EXCLUDES(mutex);
 
     /** Live groups whose fullName starts with @p prefix. */
     std::vector<const StatGroup *>
-    groupsUnder(const std::string &prefix) const;
+    groupsUnder(const std::string &prefix) const EMV_EXCLUDES(mutex);
 
-    /** visit() every live group in fullName order. */
-    void visitAll(StatVisitor &visitor) const;
+    /** visit() every live group in fullName order.  The registry
+     *  lock is NOT held during visits (see the class comment). */
+    void visitAll(StatVisitor &visitor) const EMV_EXCLUDES(mutex);
 
-    std::size_t size() const;
+    std::size_t size() const EMV_EXCLUDES(mutex);
 
   private:
     StatRegistry() = default;
 
-    mutable std::mutex mutex;
-    std::vector<StatGroup *> entries;
+    mutable Mutex mutex;
+    std::vector<StatGroup *> entries EMV_GUARDED_BY(mutex);
 };
 
 /** "group.name value" lines, one per stat (dump() format). */

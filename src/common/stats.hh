@@ -152,6 +152,13 @@ class StatVisitor
  * by name; dump() emits "group.name value" lines.  Every live group
  * is tracked by the process-wide StatRegistry; setParent() prefixes
  * the exported name ("machine" + "mmu" -> "machine.mmu").
+ *
+ * Thread-safety: registration/deregistration go through the
+ * (synchronized) StatRegistry, so groups may be constructed and
+ * destroyed from any thread.  The stats *inside* a group are plain
+ * counters owned by the component's thread; cross-thread increments
+ * need an external lock (see audit.cc) and exports run only at
+ * quiescence.
  */
 class StatGroup
 {

@@ -223,6 +223,7 @@ TelemetryRecorder::TelemetryRecorder(const TelemetryConfig &config,
 
 TelemetryRecorder::~TelemetryRecorder()
 {
+    LockGuard lock(mutex);
     if (sink)
         std::fclose(sink);
 }
@@ -231,6 +232,7 @@ void
 TelemetryRecorder::addCounter(const std::string &name,
                               std::function<std::uint64_t()> get)
 {
+    LockGuard lock(mutex);
     counterBase.push_back(get ? get() : 0);
     counters.emplace_back(name, std::move(get));
 }
@@ -239,6 +241,7 @@ void
 TelemetryRecorder::addScalar(const std::string &name,
                              std::function<double()> get)
 {
+    LockGuard lock(mutex);
     scalarBase.push_back(get ? get() : 0.0);
     scalars.emplace_back(name, std::move(get));
 }
@@ -247,12 +250,14 @@ void
 TelemetryRecorder::addGauge(const std::string &name,
                             std::function<double()> get)
 {
+    LockGuard lock(mutex);
     gauges.emplace_back(name, std::move(get));
 }
 
 void
 TelemetryRecorder::setLatencySource(const LatencyHistogram *hist)
 {
+    LockGuard lock(mutex);
     latencySource = hist;
     if (hist)
         latencyBase = *hist;
@@ -261,12 +266,14 @@ TelemetryRecorder::setLatencySource(const LatencyHistogram *hist)
 void
 TelemetryRecorder::setModeSource(std::function<std::string()> get)
 {
+    LockGuard lock(mutex);
     modeSource = std::move(get);
 }
 
 bool
 TelemetryRecorder::openSink(std::string *error)
 {
+    LockGuard lock(mutex);
     if (sink) {
         std::fclose(sink);
         sink = nullptr;
@@ -283,15 +290,26 @@ TelemetryRecorder::openSink(std::string *error)
 }
 
 void
+TelemetryRecorder::onOp()
+{
+    LockGuard lock(mutex);
+    ++opsSeen;
+    if (opsSeen - windowStartOp >= config.windowOps)
+        closeWindow(false);
+}
+
+void
 TelemetryRecorder::event(const std::string &kind,
                          const std::string &detail)
 {
+    LockGuard lock(mutex);
     pendingEvents.push_back({opsSeen, kind, detail});
 }
 
 void
 TelemetryRecorder::finish()
 {
+    LockGuard lock(mutex);
     closeWindow(true);
     if (sink) {
         std::fflush(sink);
@@ -303,12 +321,34 @@ TelemetryRecorder::finish()
 void
 TelemetryRecorder::rebase()
 {
+    LockGuard lock(mutex);
     for (std::size_t i = 0; i < counters.size(); ++i)
         counterBase[i] = counters[i].second();
     for (std::size_t i = 0; i < scalars.size(); ++i)
         scalarBase[i] = scalars[i].second();
     if (latencySource)
         latencyBase = *latencySource;
+}
+
+std::uint64_t
+TelemetryRecorder::windowIndex() const
+{
+    LockGuard lock(mutex);
+    return _windowIndex;
+}
+
+std::uint64_t
+TelemetryRecorder::opsObserved() const
+{
+    LockGuard lock(mutex);
+    return opsSeen;
+}
+
+std::uint64_t
+TelemetryRecorder::windowsEmitted() const
+{
+    LockGuard lock(mutex);
+    return emitted;
 }
 
 std::uint64_t
@@ -427,6 +467,7 @@ TelemetryRecorder::closeWindow(bool final_window)
 void
 TelemetryRecorder::serialize(ckpt::Encoder &enc) const
 {
+    LockGuard lock(mutex);
     enc.u32(1);  // Telemetry chunk layout version.
     enc.u64(config.windowOps);
     enc.u64(opsSeen);
@@ -465,6 +506,7 @@ TelemetryRecorder::serialize(ckpt::Encoder &enc) const
 bool
 TelemetryRecorder::deserialize(ckpt::Decoder &dec)
 {
+    LockGuard lock(mutex);
     const std::uint32_t version = dec.u32();
     if (dec.ok() && version != 1) {
         dec.fail("telemetry: unsupported chunk version " +

@@ -55,6 +55,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hh"
+
 namespace emv {
 namespace ckpt {
 class Encoder;
@@ -139,6 +141,52 @@ class LatencyHistogram
         std::vector<std::uint64_t>(kBucketCount, 0);
 };
 
+/**
+ * A latency histogram shared between threads: the merge path of the
+ * in-process parallel engine.  Worker threads run thread-confined
+ * LatencyHistograms on their hot paths (record() stays lock-free)
+ * and merge() them here at batch boundaries; readers take a
+ * snapshot() for windowing or reporting.  The lock is a leaf lock:
+ * merge/snapshot never call out while holding it.
+ */
+class SharedLatencyHistogram
+{
+  public:
+    /** Fold a worker's (thread-confined) histogram in. */
+    void
+    merge(const LatencyHistogram &other) EMV_EXCLUDES(mutex)
+    {
+        LockGuard lock(mutex);
+        hist.merge(other);
+    }
+
+    /** Consistent copy for windowing / percentile queries. */
+    LatencyHistogram
+    snapshot() const EMV_EXCLUDES(mutex)
+    {
+        LockGuard lock(mutex);
+        return hist;
+    }
+
+    std::uint64_t
+    count() const EMV_EXCLUDES(mutex)
+    {
+        LockGuard lock(mutex);
+        return hist.count();
+    }
+
+    void
+    reset() EMV_EXCLUDES(mutex)
+    {
+        LockGuard lock(mutex);
+        hist.reset();
+    }
+
+  private:
+    mutable Mutex mutex;
+    LatencyHistogram hist EMV_GUARDED_BY(mutex);
+};
+
 /** Construction knobs for a TelemetryRecorder. */
 struct TelemetryConfig
 {
@@ -155,6 +203,17 @@ struct TelemetryConfig
  * onOp() once per trace op and finish() at the end of the run.
  * For checkpoint/resume, deserialize() after the sources are
  * registered (names are matched) and before openSink().
+ *
+ * Thread safety: the recorder is internally synchronized — every
+ * public method takes the leaf `mutex`, so N worker threads may
+ * tick onOp()/event() against one shared recorder and each JSONL
+ * record is still a single atomic line with strictly increasing
+ * window indices.  Two caveats the annotations encode: (a) window
+ * emission runs the registered source getters *under the lock*, so
+ * getters must not call back into the recorder (they read counters
+ * and atomics; the registry leaf-lock rule in thread_safety.hh
+ * applies); (b) registration and deserialize() belong to the setup
+ * phase, before the recorder is shared.
  */
 class TelemetryRecorder
 {
@@ -170,56 +229,59 @@ class TelemetryRecorder
     TelemetryRecorder(const TelemetryRecorder &) = delete;
     TelemetryRecorder &operator=(const TelemetryRecorder &) = delete;
 
-    /** @{ Source registration (before openSink / deserialize).
-     * Counter and scalar sources are delta'd per window; gauges are
-     * sampled at window close.  Names become JSON member names. */
+    /** @{ Source registration (setup phase: before openSink /
+     * deserialize, and before the recorder is shared).  Counter and
+     * scalar sources are delta'd per window; gauges are sampled at
+     * window close.  Names become JSON member names.  Getters run
+     * under the recorder lock at window close: they must not call
+     * back into the recorder. */
     void addCounter(const std::string &name,
-                    std::function<std::uint64_t()> get);
+                    std::function<std::uint64_t()> get)
+        EMV_EXCLUDES(mutex);
     void addScalar(const std::string &name,
-                   std::function<double()> get);
+                   std::function<double()> get) EMV_EXCLUDES(mutex);
     void addGauge(const std::string &name,
-                  std::function<double()> get);
+                  std::function<double()> get) EMV_EXCLUDES(mutex);
     /** Cumulative per-translation latency histogram to window. */
-    void setLatencySource(const LatencyHistogram *hist);
+    void setLatencySource(const LatencyHistogram *hist)
+        EMV_EXCLUDES(mutex);
     /** Current translation mode, emitted per window. */
-    void setModeSource(std::function<std::string()> get);
+    void setModeSource(std::function<std::string()> get)
+        EMV_EXCLUDES(mutex);
     /** @} */
 
     /**
      * Open (truncate) the JSONL sink and start the wall clock.
      * False with @p error set when the file cannot be created.
      */
-    bool openSink(std::string *error = nullptr);
+    bool openSink(std::string *error = nullptr) EMV_EXCLUDES(mutex);
 
-    /** Advance one trace op; emits a record at window boundaries. */
-    void
-    onOp()
-    {
-        ++opsSeen;
-        if (opsSeen - windowStartOp >= config.windowOps)
-            closeWindow(false);
-    }
+    /** Advance one trace op; emits a record at window boundaries.
+     *  Safe from any thread; one uncontended lock per op (the
+     *  batched engine will tick once per decoded block instead). */
+    void onOp() EMV_EXCLUDES(mutex);
 
     /** Mark an event (mode transition, fault) in the current window. */
-    void event(const std::string &kind, const std::string &detail);
+    void event(const std::string &kind, const std::string &detail)
+        EMV_EXCLUDES(mutex);
 
     /** Emit the final partial window (if non-empty) and flush. */
-    void finish();
+    void finish() EMV_EXCLUDES(mutex);
 
     /** Re-baseline every source without emitting (stat reset). */
-    void rebase();
+    void rebase() EMV_EXCLUDES(mutex);
 
-    std::uint64_t windowIndex() const { return _windowIndex; }
-    std::uint64_t opsObserved() const { return opsSeen; }
-    std::uint64_t windowsEmitted() const { return emitted; }
+    std::uint64_t windowIndex() const EMV_EXCLUDES(mutex);
+    std::uint64_t opsObserved() const EMV_EXCLUDES(mutex);
+    std::uint64_t windowsEmitted() const EMV_EXCLUDES(mutex);
 
     /**
      * Checkpoint the window cursor, baseline snapshots, pending
      * events and accumulated wall time.  deserialize() validates
      * that the registered source names match the saved ones.
      */
-    void serialize(ckpt::Encoder &enc) const;
-    bool deserialize(ckpt::Decoder &dec);
+    void serialize(ckpt::Encoder &enc) const EMV_EXCLUDES(mutex);
+    bool deserialize(ckpt::Decoder &dec) EMV_EXCLUDES(mutex);
 
   private:
     struct PendingEvent
@@ -229,39 +291,46 @@ class TelemetryRecorder
         std::string detail;
     };
 
-    void closeWindow(bool final_window);
+    void closeWindow(bool final_window) EMV_REQUIRES(mutex);
     std::uint64_t now() const;
 
-    TelemetryConfig config;
-    ClockFn clock;
-    std::FILE *sink = nullptr;
+    /** Leaf lock over all recorder state (see class comment). */
+    mutable Mutex mutex;
+
+    const TelemetryConfig config;
+    const ClockFn clock;
+    std::FILE *sink EMV_GUARDED_BY(mutex) = nullptr;
 
     std::vector<std::pair<std::string,
-                          std::function<std::uint64_t()>>> counters;
+                          std::function<std::uint64_t()>>> counters
+        EMV_GUARDED_BY(mutex);
     std::vector<std::pair<std::string,
-                          std::function<double()>>> scalars;
+                          std::function<double()>>> scalars
+        EMV_GUARDED_BY(mutex);
     std::vector<std::pair<std::string,
-                          std::function<double()>>> gauges;
-    const LatencyHistogram *latencySource = nullptr;
-    std::function<std::string()> modeSource;
+                          std::function<double()>>> gauges
+        EMV_GUARDED_BY(mutex);
+    const LatencyHistogram *latencySource EMV_GUARDED_BY(mutex) =
+        nullptr;
+    std::function<std::string()> modeSource EMV_GUARDED_BY(mutex);
 
     /** Baselines at the current window's open. */
-    std::vector<std::uint64_t> counterBase;
-    std::vector<double> scalarBase;
-    LatencyHistogram latencyBase;
+    std::vector<std::uint64_t> counterBase EMV_GUARDED_BY(mutex);
+    std::vector<double> scalarBase EMV_GUARDED_BY(mutex);
+    LatencyHistogram latencyBase EMV_GUARDED_BY(mutex);
 
-    std::uint64_t opsSeen = 0;
-    std::uint64_t windowStartOp = 0;
-    std::uint64_t _windowIndex = 0;
-    std::uint64_t emitted = 0;
+    std::uint64_t opsSeen EMV_GUARDED_BY(mutex) = 0;
+    std::uint64_t windowStartOp EMV_GUARDED_BY(mutex) = 0;
+    std::uint64_t _windowIndex EMV_GUARDED_BY(mutex) = 0;
+    std::uint64_t emitted EMV_GUARDED_BY(mutex) = 0;
 
     /** Wall time attributed to the open window before the current
      *  mark (survives checkpoints); markNs is live-process only. */
-    std::uint64_t windowWallNs = 0;
-    std::uint64_t markNs = 0;
-    bool markValid = false;
+    std::uint64_t windowWallNs EMV_GUARDED_BY(mutex) = 0;
+    std::uint64_t markNs EMV_GUARDED_BY(mutex) = 0;
+    bool markValid EMV_GUARDED_BY(mutex) = false;
 
-    std::vector<PendingEvent> pendingEvents;
+    std::vector<PendingEvent> pendingEvents EMV_GUARDED_BY(mutex);
 };
 
 } // namespace emv::telemetry

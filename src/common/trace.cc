@@ -4,19 +4,26 @@
 #include <iostream>
 #include <memory>
 
+#include "common/thread_safety.hh"
+
 namespace emv::trace {
 
 namespace detail {
 
-std::uint32_t mask = 0;
+std::atomic<std::uint32_t> mask{0};
 
 namespace {
 
-std::unique_ptr<std::ofstream> traceFile;
-std::ostream *overrideSink = nullptr;
+/** Leaf lock over the sink configuration and the stream itself:
+ *  emitImpl() formats outside, then writes each record as one
+ *  locked insertion so concurrent tracers never interleave lines. */
+Mutex sinkMutex;
+
+std::unique_ptr<std::ofstream> traceFile EMV_GUARDED_BY(sinkMutex);
+std::ostream *overrideSink EMV_GUARDED_BY(sinkMutex) = nullptr;
 
 std::ostream &
-sink()
+sink() EMV_REQUIRES(sinkMutex)
 {
     if (overrideSink)
         return *overrideSink;
@@ -30,7 +37,14 @@ sink()
 void
 emitImpl(Flag flag, const std::string &msg)
 {
-    sink() << flagName(flag) << ": " << msg << '\n';
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += flagName(flag);
+    line += ": ";
+    line += msg;
+    line += '\n';
+    LockGuard lock(sinkMutex);
+    sink() << line;
 }
 
 } // namespace detail
@@ -88,23 +102,25 @@ setFlags(const std::string &csv)
             return false;
         next |= 1u << static_cast<unsigned>(*flag);
     }
-    detail::mask = next;
+    detail::mask.store(next, std::memory_order_relaxed);
     return true;
 }
 
 void
 clearFlags()
 {
-    detail::mask = 0;
+    detail::mask.store(0, std::memory_order_relaxed);
 }
 
 std::vector<Flag>
 enabledFlags()
 {
     std::vector<Flag> out;
+    const std::uint32_t m =
+        detail::mask.load(std::memory_order_relaxed);
     for (unsigned i = 0; i < static_cast<unsigned>(Flag::NumFlags);
          ++i) {
-        if ((detail::mask >> i) & 1u)
+        if ((m >> i) & 1u)
             out.push_back(static_cast<Flag>(i));
     }
     return out;
@@ -126,6 +142,7 @@ bool
 openTraceFile(const std::string &path)
 {
     if (path.empty()) {
+        LockGuard lock(detail::sinkMutex);
         detail::traceFile.reset();
         return true;
     }
@@ -133,6 +150,7 @@ openTraceFile(const std::string &path)
         path, std::ios::out | std::ios::trunc);
     if (!file->is_open())
         return false;
+    LockGuard lock(detail::sinkMutex);
     detail::traceFile = std::move(file);
     return true;
 }
@@ -140,6 +158,7 @@ openTraceFile(const std::string &path)
 void
 setSink(std::ostream *os)
 {
+    LockGuard lock(detail::sinkMutex);
     detail::overrideSink = os;
 }
 

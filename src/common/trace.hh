@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <ostream>
@@ -45,8 +46,12 @@ enum class Flag : unsigned {
 };
 
 namespace detail {
-/** Enabled-flag bitmask; zero (the common case) short-circuits. */
-extern std::uint32_t mask;
+/** Enabled-flag bitmask; zero (the common case) short-circuits.
+ *  Atomic so worker threads may gate on it while the driver thread
+ *  reconfigures; relaxed is enough — the mask is a filter, not a
+ *  synchronization point.  The sink behind emitImpl() is guarded by
+ *  a mutex in trace.cc and each record is written as one line. */
+extern std::atomic<std::uint32_t> mask;
 void emitImpl(Flag flag, const std::string &msg);
 } // namespace detail
 
@@ -54,8 +59,10 @@ void emitImpl(Flag flag, const std::string &msg);
 inline bool
 enabled(Flag flag)
 {
-    return __builtin_expect(detail::mask != 0, 0) &&
-           (detail::mask >> static_cast<unsigned>(flag)) & 1u;
+    const std::uint32_t m =
+        detail::mask.load(std::memory_order_relaxed);
+    return __builtin_expect(m != 0, 0) &&
+           (m >> static_cast<unsigned>(flag)) & 1u;
 }
 
 /** Printable flag name ("Tlb", "Walk", ...). */

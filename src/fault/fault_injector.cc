@@ -50,7 +50,10 @@ FaultInjector::eventsDue(std::uint64_t op)
 void
 FaultInjector::armFailures(FaultPoint point, unsigned count)
 {
-    armed[static_cast<std::size_t>(point)] += count;
+    {
+        LockGuard lock(hookMutex);
+        armed[static_cast<std::size_t>(point)] += count;
+    }
     _stats.counter("armed_failures") += count;
     EMV_TRACE(Fault, "armed %u %s request failure(s)", count,
               faultPointName(point));
@@ -59,10 +62,14 @@ FaultInjector::armFailures(FaultPoint point, unsigned count)
 bool
 FaultInjector::shouldFail(FaultPoint point)
 {
-    unsigned &remaining = armed[static_cast<std::size_t>(point)];
-    if (remaining == 0)
-        return false;
-    --remaining;
+    unsigned remaining;
+    {
+        LockGuard lock(hookMutex);
+        unsigned &slot = armed[static_cast<std::size_t>(point)];
+        if (slot == 0)
+            return false;
+        remaining = --slot;
+    }
     ++_stats.counter("injected_request_failures");
     EMV_TRACE(Fault, "%s request failure injected (%u left)",
               faultPointName(point), remaining);
@@ -72,6 +79,7 @@ FaultInjector::shouldFail(FaultPoint point)
 unsigned
 FaultInjector::armedFailures(FaultPoint point) const
 {
+    LockGuard lock(hookMutex);
     return armed[static_cast<std::size_t>(point)];
 }
 
@@ -80,8 +88,11 @@ FaultInjector::serialize(ckpt::Encoder &enc) const
 {
     enc.u64(events.size());
     enc.u64(cursor);
-    for (unsigned count : armed)
-        enc.u32(count);
+    {
+        LockGuard lock(hookMutex);
+        for (unsigned count : armed)
+            enc.u32(count);
+    }
     _rng.serialize(enc);
     _stats.serialize(enc);
 }
@@ -100,8 +111,11 @@ FaultInjector::deserialize(ckpt::Decoder &dec)
         dec.fail("fault: cursor out of range");
         return false;
     }
-    for (auto &count : armed)
-        count = dec.u32();
+    {
+        LockGuard lock(hookMutex);
+        for (auto &count : armed)
+            count = dec.u32();
+    }
     if (!_rng.deserialize(dec) || !_stats.deserialize(dec))
         return false;
     return dec.ok();

@@ -21,6 +21,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_safety.hh"
 #include "fault/fault_plan.hh"
 
 namespace emv {
@@ -42,7 +43,17 @@ enum class FaultPoint : unsigned {
 
 const char *faultPointName(FaultPoint point);
 
-/** Drives one machine's fault schedule. */
+/**
+ * Drives one machine's fault schedule.
+ *
+ * Thread-safety: the injector is owned by one Machine and its event
+ * delivery (eventsDue, serialize) is thread-confined to that
+ * machine's worker thread.  The armed-failure hooks are the
+ * exception — components capture `[&] { return inj.shouldFail(p); }`
+ * and such a hook may outlive the wiring thread, so the armed
+ * counts sit behind `hookMutex` (a leaf lock: never held across the
+ * trace sink or any other emv lock).
+ */
 class FaultInjector
 {
   public:
@@ -64,9 +75,11 @@ class FaultInjector
      * Components wire `[&] { return inj.shouldFail(point); }` into
      * their request entry points; each armed failure makes exactly
      * one request fail. */
-    void armFailures(FaultPoint point, unsigned count);
-    bool shouldFail(FaultPoint point);
-    unsigned armedFailures(FaultPoint point) const;
+    void armFailures(FaultPoint point, unsigned count)
+        EMV_EXCLUDES(hookMutex);
+    bool shouldFail(FaultPoint point) EMV_EXCLUDES(hookMutex);
+    unsigned armedFailures(FaultPoint point) const
+        EMV_EXCLUDES(hookMutex);
     /** @} */
 
     /** Victim selection and noise generation (seeded, so a plan
@@ -80,17 +93,19 @@ class FaultInjector
      * The event list itself is rebuilt from the FaultPlan at
      * construction (deterministic), so only progress is stored.
      */
-    void serialize(ckpt::Encoder &enc) const;
-    bool deserialize(ckpt::Decoder &dec);
+    void serialize(ckpt::Encoder &enc) const
+        EMV_EXCLUDES(hookMutex);
+    bool deserialize(ckpt::Decoder &dec) EMV_EXCLUDES(hookMutex);
 
   private:
-    std::vector<FaultEvent> events;
-    std::size_t cursor = 0;
+    EMV_THREAD_CONFINED std::vector<FaultEvent> events;
+    EMV_THREAD_CONFINED std::size_t cursor = 0;
+    mutable Mutex hookMutex;
     std::array<unsigned,
                static_cast<std::size_t>(FaultPoint::NumPoints)>
-        armed{};
-    Rng _rng;
-    StatGroup _stats{"fault"};
+        armed EMV_GUARDED_BY(hookMutex){};
+    EMV_THREAD_CONFINED Rng _rng;
+    EMV_THREAD_CONFINED StatGroup _stats{"fault"};
 };
 
 } // namespace emv::fault

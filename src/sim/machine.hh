@@ -166,7 +166,17 @@ struct RunResult
     }
 };
 
-/** The machine. */
+/**
+ * The machine.
+ *
+ * Thread-safety: a Machine and everything it owns (OS, VMM, MMU,
+ * workload, RNG streams, per-machine stat groups) is confined to
+ * one worker thread.  The only process-wide services it touches —
+ * StatRegistry registration, audit counters, trace/log sinks, a
+ * shared TelemetryRecorder — are internally synchronized (see
+ * common/thread_safety.hh).  emvsim threads=N runs N machines on N
+ * threads under exactly this contract.
+ */
 class Machine
 {
   public:
@@ -244,6 +254,15 @@ class Machine
      * the measured-interval aggregates.  Pass nullptr to detach. */
     void attachTelemetry(telemetry::TelemetryRecorder *recorder);
     telemetry::TelemetryRecorder *telemetry() { return telem; }
+
+    /** Tick @p recorder once per trace op WITHOUT registering this
+     *  machine's metric sources.  For threads=N runs that share one
+     *  internally-synchronized recorder: per-machine source names
+     *  would collide across machines (duplicate JSON keys), so the
+     *  driver registers race-free aggregate sources itself and each
+     *  machine only drives the shared window clock. */
+    void attachTelemetryTicker(telemetry::TelemetryRecorder *recorder)
+    { telem = recorder; }
     /** @} */
 
     /** @{ Fault injection and reporting. */

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace emv {
+
+class HalfCheckpointed
+{
+  public:
+    void serialize(ckpt::Encoder &enc) const;
+};
+
+} // namespace emv

@@ -1,0 +1,13 @@
+namespace emv {
+
+namespace {
+constexpr unsigned kScale = 2;
+} // namespace
+
+unsigned
+cleanTwice(unsigned x)
+{
+    return kScale * x;
+}
+
+} // namespace emv

@@ -1,0 +1,21 @@
+#pragma once
+
+namespace emv {
+
+inline constexpr unsigned kCleanAnswer = 42;
+
+/** Annotated shared cache: every member declares its locking
+ *  story, so unguarded-member stays quiet. */
+class CleanCache
+{
+  public:
+    unsigned value() const;
+
+  private:
+    mutable Mutex mutex;
+    unsigned cached EMV_GUARDED_BY(mutex) = 0;
+    EMV_THREAD_CONFINED unsigned scratch = 0;
+    const unsigned limit = 8;
+};
+
+} // namespace emv

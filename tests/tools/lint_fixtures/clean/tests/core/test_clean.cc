@@ -1,0 +1,1 @@
+// Coverage marker for clean.cc (fixture trees are never compiled).

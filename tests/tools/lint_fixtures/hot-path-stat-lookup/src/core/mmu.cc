@@ -1,0 +1,9 @@
+namespace emv {
+
+void
+Mmu::translate(unsigned refs)
+{
+    stats.counter("walk_refs") += refs;
+}
+
+} // namespace emv

@@ -1,0 +1,10 @@
+namespace emv {
+
+void
+badRecover(bool broken)
+{
+    if (broken)
+        emv_fatal("cannot recover");
+}
+
+} // namespace emv

@@ -1,0 +1,11 @@
+namespace emv {
+
+long
+badNowNs()
+{
+    return std::chrono::steady_clock::now()
+        .time_since_epoch()
+        .count();
+}
+
+} // namespace emv

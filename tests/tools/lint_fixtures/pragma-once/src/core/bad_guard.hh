@@ -1,0 +1,8 @@
+#ifndef EMV_CORE_BAD_GUARD_HH
+#define EMV_CORE_BAD_GUARD_HH
+
+namespace emv {
+struct Guarded {};
+} // namespace emv
+
+#endif

@@ -1,0 +1,9 @@
+namespace emv {
+
+void
+badPrint(int value)
+{
+    std::cout << value;
+}
+
+} // namespace emv

@@ -1,0 +1,10 @@
+namespace emv {
+
+unsigned
+badEntropy()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace emv

@@ -1,0 +1,5 @@
+namespace emv {
+
+unsigned long globalWalkCount = 0;
+
+} // namespace emv

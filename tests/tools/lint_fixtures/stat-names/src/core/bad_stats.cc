@@ -1,0 +1,9 @@
+namespace emv {
+
+void
+badStatName(StatGroup &group)
+{
+    group.counter("BadCamelName") += 1;
+}
+
+} // namespace emv

@@ -1,0 +1,9 @@
+namespace emv {
+
+int
+uncovered()
+{
+    return 42;
+}
+
+} // namespace emv

@@ -1,0 +1,16 @@
+#pragma once
+
+namespace emv {
+
+class BadCache
+{
+  public:
+    int get() const;
+
+  private:
+    mutable Mutex mutex;
+    int entries EMV_GUARDED_BY(mutex) = 0;
+    int value = 0;
+};
+
+} // namespace emv

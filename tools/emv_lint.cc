@@ -45,7 +45,39 @@
  *                  map lookup per op also skews the telemetry
  *                  throughput meter it feeds.
  *
- * Usage: emv_lint <repo-root>
+ * Concurrency-safety rules (see DESIGN.md §12), ahead of the
+ * in-process parallel engine:
+ *
+ *   shared-mutable-state
+ *                  namespace-scope variables, mutable static locals
+ *                  and static data members must be const/constexpr,
+ *                  atomic, a Mutex, thread_local, or carry an
+ *                  EMV_GUARDED_BY annotation; anything else is a
+ *                  data race waiting for the threaded runner.
+ *                  Audited singletons live in an explicit
+ *                  "file:name" allowlist.
+ *   unguarded-member
+ *                  a class that owns a Mutex declares its locking
+ *                  story for *every* mutable member: EMV_GUARDED_BY
+ *                  / EMV_PT_GUARDED_BY for lock-protected state,
+ *                  EMV_THREAD_CONFINED for owner-thread state, or a
+ *                  const/atomic type.
+ *   nondeterministic-source
+ *                  no wall-clock reads (std::chrono clocks, time(),
+ *                  clock_gettime, gettimeofday), std::random_device,
+ *                  or address-as-hash (std::hash over pointers,
+ *                  pointer-to-uintptr casts) inside the
+ *                  deterministic sim layers — any of these makes
+ *                  emv-ckpt-v1 resume schedule-dependent.  Only the
+ *                  injected TelemetryRecorder clock and the
+ *                  explicitly wall-clock translation units
+ *                  (telemetry, profiling, experiment timing) may
+ *                  read real time.
+ *
+ * Usage: emv_lint <repo-root> [--rules=rule1,rule2,...]
+ * With --rules only the named rules report (used by the fixture
+ * self-tests under tests/tools/lint_fixtures/ to point one rule at
+ * one known-bad mini-tree).
  * Exits 0 when clean; prints "file:line: [rule] message" per
  * violation and exits 1 otherwise.  Registered as a CTest so a
  * convention regression fails the build's test stage.
@@ -77,10 +109,21 @@ struct Violation
 
 std::vector<Violation> violations;
 
+/** --rules= filter; empty means every rule reports. */
+std::set<std::string> rulesFilter;
+
+bool
+ruleEnabled(const std::string &rule)
+{
+    return rulesFilter.empty() || rulesFilter.count(rule) != 0;
+}
+
 void
 report(const fs::path &file, int line, const std::string &rule,
        const std::string &message)
 {
+    if (!ruleEnabled(rule))
+        return;
     violations.push_back({file.string(), line, rule, message});
 }
 
@@ -463,6 +506,345 @@ checkHotPathStatLookup(const fs::path &file, const std::string &rel,
 }
 
 // ---------------------------------------------------------------------
+// Scope-aware declaration scan, shared by shared-mutable-state and
+// unguarded-member.
+// ---------------------------------------------------------------------
+
+struct Stmt
+{
+    std::string text;
+    int line;
+};
+
+struct TypeScope
+{
+    std::string name;
+    int line;
+    std::vector<Stmt> members;
+};
+
+enum class ScopeKind { Namespace, Type, Other };
+
+/**
+ * Split the stripped text into namespace-scope statements, per-type
+ * member statements, and function-local `static` statements by
+ * classifying what each `{` opens.  An `{` whose header names no
+ * namespace/class/struct/union/enum is Other — a function body,
+ * control block, or brace initializer; its pending header is kept
+ * only when the matching `}` is followed by `;` (a declaration whose
+ * initializer we just skipped).
+ */
+void
+collectScopes(const std::string &stripped,
+              std::vector<Stmt> &nsStmts,
+              std::vector<TypeScope> &types,
+              std::vector<Stmt> &fnStmts)
+{
+    static const std::regex nsRe(R"(\bnamespace\b)");
+    static const std::regex typeRe(R"(\b(class|struct|union|enum)\b)");
+    static const std::regex typeNameRe(
+        R"((?:class|struct|union|enum)(?:\s+class)?)"
+        R"((?:\s+EMV_[A-Z_]+\s*\([^()]*\))?\s+([A-Za-z_][A-Za-z0-9_]*))");
+    static const std::regex tmplParams(R"(template\s*<[^<>]*>)");
+
+    std::vector<ScopeKind> stack;
+    std::vector<int> typeOf;          // Index into types; -1 if not.
+    std::vector<std::string> pending; // Saved headers of Other scopes.
+    std::vector<int> pendingLine;
+
+    std::string cur;
+    int line = 1;
+    int stmtLine = 1;
+
+    auto trimmed = [](const std::string &s) {
+        const auto b = s.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            return std::string();
+        const auto e = s.find_last_not_of(" \t");
+        return s.substr(b, e - b + 1);
+    };
+    auto record = [&]() {
+        const std::string text = trimmed(cur);
+        cur.clear();
+        if (text.empty())
+            return;
+        const ScopeKind kind =
+            stack.empty() ? ScopeKind::Namespace : stack.back();
+        switch (kind) {
+        case ScopeKind::Namespace:
+            nsStmts.push_back({text, stmtLine});
+            break;
+        case ScopeKind::Type:
+            if (typeOf.back() >= 0)
+                types[static_cast<std::size_t>(typeOf.back())]
+                    .members.push_back({text, stmtLine});
+            break;
+        case ScopeKind::Other:
+            // Function bodies: only static locals are interesting.
+            if (text.rfind("static ", 0) == 0)
+                fnStmts.push_back({text, stmtLine});
+            break;
+        }
+    };
+
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const char c = stripped[i];
+        if (c == '\n') {
+            ++line;
+            cur += ' ';
+            continue;
+        }
+        if (c == ';') {
+            record();
+            stmtLine = line;
+            continue;
+        }
+        if (c == '{') {
+            // Strip template parameter lists so `template <class T>`
+            // does not read as a type definition.
+            const std::string head =
+                std::regex_replace(trimmed(cur), tmplParams, "");
+            ScopeKind kind = ScopeKind::Other;
+            if (std::regex_search(head, nsRe))
+                kind = ScopeKind::Namespace;
+            else if (std::regex_search(head, typeRe))
+                kind = ScopeKind::Type;
+            stack.push_back(kind);
+            if (kind == ScopeKind::Type) {
+                std::smatch m;
+                std::string name = "<anonymous>";
+                if (std::regex_search(head, m, typeNameRe))
+                    name = m[1].str();
+                typeOf.push_back(static_cast<int>(types.size()));
+                types.push_back({name, stmtLine, {}});
+            } else {
+                typeOf.push_back(-1);
+            }
+            pending.push_back(kind == ScopeKind::Other ? cur : "");
+            pendingLine.push_back(stmtLine);
+            cur.clear();
+            stmtLine = line;
+            continue;
+        }
+        if (c == '}') {
+            if (stack.empty())
+                continue;
+            const ScopeKind kind = stack.back();
+            const std::string saved = pending.back();
+            const int savedLine = pendingLine.back();
+            stack.pop_back();
+            typeOf.pop_back();
+            pending.pop_back();
+            pendingLine.pop_back();
+            cur.clear();
+            if (kind == ScopeKind::Other) {
+                // Brace initializer?  Restore the declaration header
+                // so the upcoming ';' records it.
+                std::size_t j = i + 1;
+                while (j < stripped.size() &&
+                       (stripped[j] == ' ' || stripped[j] == '\t' ||
+                        stripped[j] == '\n')) {
+                    ++j;
+                }
+                if (j < stripped.size() && stripped[j] == ';') {
+                    cur = saved;
+                    stmtLine = savedLine;
+                }
+            }
+            continue;
+        }
+        if (cur.empty() || trimmed(cur).empty())
+            stmtLine = line;
+        cur += c;
+    }
+}
+
+/** EMV_*(...) attribute macros (and the bare EMV_THREAD_CONFINED)
+ *  removed, so leftover parentheses mean "function-like". */
+std::string
+stripEmvAttrs(const std::string &s)
+{
+    static const std::regex attr(R"(EMV_[A-Z_]+\s*\([^()]*\))");
+    static const std::regex bare(R"(EMV_THREAD_CONFINED)");
+    return std::regex_replace(std::regex_replace(s, attr, ""), bare,
+                              "");
+}
+
+/** Types/annotations under which shared state is race-free. */
+bool
+allowedSharedDecl(const std::string &s)
+{
+    static const std::regex allowed(
+        R"(^(extern\s+)?(static\s+)?(inline\s+)?(mutable\s+)?const(expr)?\b)"
+        R"(|\bconstexpr\b|thread_local|std::atomic|\bAtomic[A-Za-z0-9_]*)"
+        R"(|\bMutex\b|std::mutex|std::once_flag)"
+        R"(|EMV_GUARDED_BY|EMV_PT_GUARDED_BY)");
+    return std::regex_search(s, allowed);
+}
+
+/** Last identifier of the declarator (initializer stripped). */
+std::string
+declaredName(const std::string &stmt)
+{
+    std::string head = stmt;
+    const auto eq = head.find('=');
+    if (eq != std::string::npos)
+        head = head.substr(0, eq);
+    const auto br = head.find('[');
+    if (br != std::string::npos)
+        head = head.substr(0, br);
+    static const std::regex ident(R"(([A-Za-z_][A-Za-z0-9_]*)\s*$)");
+    std::smatch m;
+    if (std::regex_search(head, m, ident))
+        return m[1].str();
+    return "<unknown>";
+}
+
+/** Statements that are not object declarations at all. */
+bool
+isNonVariableStmt(const std::string &s)
+{
+    static const std::regex nonVar(
+        R"(^(using|typedef|template|friend|public|private|protected)\b)"
+        R"(|^#|\b(class|struct|union|enum)\b|^static_assert\b)");
+    return std::regex_search(s, nonVar);
+}
+
+// ---------------------------------------------------------------------
+// Rule: shared-mutable-state
+// ---------------------------------------------------------------------
+
+void
+checkSharedMutableState(const fs::path &file, const std::string &rel,
+                        const std::vector<Stmt> &nsStmts,
+                        const std::vector<TypeScope> &types,
+                        const std::vector<Stmt> &fnStmts)
+{
+    // Audited process-wide singletons ("file:name"), each with an
+    // internally-synchronized implementation (DESIGN.md §12).
+    static const std::set<std::string> allowlist = {
+        // Leaked singleton; its entry list is Mutex-guarded.
+        "common/stat_registry.cc:registry",
+        // Function-local audit counters behind AuditStats::mutex.
+        "common/audit.cc:stats",
+    };
+    auto flag = [&](const Stmt &stmt, const char *what) {
+        const std::string bare = stripEmvAttrs(stmt.text);
+        if (isNonVariableStmt(bare) ||
+            bare.find('(') != std::string::npos) {
+            return;  // Function/type/alias declaration, not state.
+        }
+        if (allowedSharedDecl(stmt.text))
+            return;
+        const std::string name = declaredName(bare);
+        if (allowlist.count(rel + ":" + name))
+            return;
+        report(file, stmt.line, "shared-mutable-state",
+               std::string(what) + " '" + name +
+                   "' is mutable and unsynchronized; make it "
+                   "const/atomic, guard it with a Mutex + "
+                   "EMV_GUARDED_BY, or add it to the audited "
+                   "allowlist in emv_lint");
+    };
+    for (const Stmt &stmt : nsStmts)
+        flag(stmt, "namespace-scope variable");
+    for (const Stmt &stmt : fnStmts)
+        flag(stmt, "static local");
+    for (const TypeScope &type : types) {
+        for (const Stmt &stmt : type.members) {
+            if (stmt.text.rfind("static ", 0) == 0)
+                flag(stmt, "static data member");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: unguarded-member
+// ---------------------------------------------------------------------
+
+void
+checkUnguardedMember(const fs::path &file, const std::string &rel,
+                     const std::vector<TypeScope> &types)
+{
+    (void)rel;
+    static const std::regex ownsMutex(
+        R"((^|\s)(mutable\s+)?Mutex\s+[A-Za-z_][A-Za-z0-9_]*\s*$)");
+    static const std::regex annotated(
+        R"(EMV_GUARDED_BY|EMV_PT_GUARDED_BY|EMV_THREAD_CONFINED)");
+    for (const TypeScope &type : types) {
+        const bool owner = std::any_of(
+            type.members.begin(), type.members.end(),
+            [](const Stmt &m) {
+                return std::regex_search(stripEmvAttrs(m.text),
+                                         ownsMutex);
+            });
+        if (!owner)
+            continue;
+        for (const Stmt &member : type.members) {
+            if (std::regex_search(member.text, annotated))
+                continue;
+            const std::string bare = stripEmvAttrs(member.text);
+            if (std::regex_search(bare, ownsMutex))
+                continue;  // The lock itself.
+            if (isNonVariableStmt(bare) ||
+                bare.find('(') != std::string::npos) {
+                continue;  // Methods, nested types, aliases.
+            }
+            if (bare.rfind("static ", 0) == 0)
+                continue;  // shared-mutable-state's business.
+            if (allowedSharedDecl(member.text))
+                continue;
+            report(file, member.line, "unguarded-member",
+                   "class " + type.name +
+                       " owns a Mutex but member '" +
+                       declaredName(bare) +
+                       "' declares no locking story; annotate it "
+                       "EMV_GUARDED_BY(mutex), EMV_THREAD_CONFINED, "
+                       "or make it const/atomic");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: nondeterministic-source
+// ---------------------------------------------------------------------
+
+void
+checkNondeterministicSource(const fs::path &file,
+                            const std::string &rel,
+                            const std::vector<std::string> &lines)
+{
+    // Translation units allowed to read real time: telemetry wall_ms
+    // (presentation-only, excluded from checkpoint identity),
+    // simulator self-profiling, and the experiment driver's elapsed
+    // clock.  Everything else in src/ must be schedule-independent
+    // or emv-ckpt-v1 resume breaks.
+    static const std::vector<std::string> allowed = {
+        "common/telemetry.",
+        "common/profile.",
+        "sim/experiment.",
+    };
+    if (matchesAny(rel, allowed))
+        return;
+    static const std::regex forbidden(
+        R"(std::chrono::(steady_clock|system_clock|high_resolution_clock))"
+        R"(|std::random_device)"
+        R"(|[^_[:alnum:]](time|clock_gettime|gettimeofday|clock)\s*\(\s*(NULL|nullptr|0)?\s*\))"
+        R"(|std::hash<[^>]*\*)"
+        R"(|reinterpret_cast<\s*std::u?intptr_t)");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i], forbidden)) {
+            report(file, static_cast<int>(i + 1),
+                   "nondeterministic-source",
+                   "wall-clock / entropy / address-dependent value "
+                   "in a deterministic sim layer; inject the "
+                   "TelemetryRecorder clock or use the seeded Rng "
+                   "so checkpointed runs replay byte-identically");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------
 
@@ -569,15 +951,39 @@ checkStatNames(const fs::path &file, const std::string &text)
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <repo-root>\n", argv[0]);
+    const char *rootArg = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--rules=", 0) == 0) {
+            std::string csv = arg.substr(8);
+            std::size_t pos = 0;
+            while (pos <= csv.size()) {
+                std::size_t comma = csv.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = csv.size();
+                const std::string rule = csv.substr(pos, comma - pos);
+                if (!rule.empty())
+                    rulesFilter.insert(rule);
+                pos = comma + 1;
+            }
+        } else if (!rootArg) {
+            rootArg = argv[i];
+        } else {
+            rootArg = nullptr;
+            break;
+        }
+    }
+    if (!rootArg) {
+        std::fprintf(stderr,
+                     "usage: %s <repo-root> [--rules=r1,r2,...]\n",
+                     argv[0]);
         return 2;
     }
-    const fs::path root(argv[1]);
+    const fs::path root(rootArg);
     const fs::path src = root / "src";
     if (!fs::is_directory(src)) {
         std::fprintf(stderr, "emv_lint: %s is not a repo root\n",
-                     argv[1]);
+                     rootArg);
         return 2;
     }
 
@@ -603,6 +1009,13 @@ main(int argc, char **argv)
         if (ext == ".hh")
             checkPragmaOnce(path, stripped);
         checkStatNames(path, text);
+        checkNondeterministicSource(path, rel, lines);
+
+        std::vector<Stmt> nsStmts, fnStmts;
+        std::vector<TypeScope> types;
+        collectScopes(stripped, nsStmts, types, fnStmts);
+        checkSharedMutableState(path, rel, nsStmts, types, fnStmts);
+        checkUnguardedMember(path, rel, types);
     }
     checkTestCoverage(root);
     finalizeCkptRoundTrip(root);

@@ -12,7 +12,7 @@
  *          [tracefile=trace.log] [profile=1] [audit=1]
  *          [faults=dram@5000x8] [policy=degrade] [faultseed=7]
  *          [ckpt=run.ckpt] [ckptevery=100000] [resume=run.ckpt]
- *          [stopafter=N] [crashafter=N] [hangafter=N]
+ *          [stopafter=N] [crashafter=N] [hangafter=N] [threads=N]
  *
  * Arguments are strictly validated: anything that is not a known
  * `key=value` pair (a typo like `tracefil=t.log`, a bare word, an
@@ -81,6 +81,17 @@
  *                    stats; any mismatch makes emvsim exit 1.
  *
  * Fault injection:
+ * Parallel smoke:
+ *   threads=N        run N independent machines on N worker threads
+ *                    in one process, all sharing the stat registry,
+ *                    audit counters and (with metrics=) one
+ *                    telemetry recorder.  Machine t runs the same
+ *                    workload with seed+t.  This is the concurrency
+ *                    smoke for the in-process parallel engine (run
+ *                    it under the tsan preset); checkpoint/resume,
+ *                    the interruption test knobs and statsjson= are
+ *                    serial-only and rejected with threads>1.
+ *
  *   faults=SPEC      schedule of mid-run faults at trace-op
  *                    granularity: "kind@op[xCOUNT],..." with kinds
  *                    dram guestpte nestedpte filtersat balloonfail
@@ -92,11 +103,14 @@
  *   faultseed=N      seed for victim selection and filter noise.
  */
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <unistd.h>
 
@@ -168,6 +182,15 @@ constexpr Knob kKnobs[] = {
                   "checkpoint, exit 3 (test knob)"},
     {"crashafter", "raise SIGKILL at trace op N (test knob)"},
     {"hangafter", "stop progressing at trace op N (test knob)"},
+    {"threads", "run N independent machines on N worker threads "
+                "sharing the registry/telemetry (concurrency smoke; "
+                "default 1)"},
+};
+
+/** Serial-only knobs, rejected when threads>1. */
+constexpr const char *kSerialOnlyKeys[] = {
+    "ckpt", "ckptevery", "resume", "stopafter", "crashafter",
+    "hangafter", "statsjson",
 };
 
 /** Identity knobs come from the checkpoint on resume. */
@@ -255,12 +278,198 @@ workloadByName(const std::string &name)
     return std::nullopt;
 }
 
-volatile std::sig_atomic_t gStopRequested = 0;
+// Atomic (not volatile sig_atomic_t) so threads=N workers can poll
+// it without a data race; a lock-free atomic store is async-signal
+// safe.
+std::atomic<int> gStopRequested{0};
 
 void
 onStopSignal(int)
 {
-    gStopRequested = 1;
+    gStopRequested.store(1, std::memory_order_relaxed);
+}
+
+bool
+stopRequested()
+{
+    return gStopRequested.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * threads=N: run N independent machines on N worker threads in one
+ * process.  Everything process-wide — the stat registry, the audit
+ * counters, the trace sink, the telemetry recorder — is shared and
+ * internally synchronized (thread_safety.hh documents the contract);
+ * each Machine itself stays confined to its worker thread.
+ *
+ * Machines are constructed and destroyed *in-thread* so their stat
+ * groups register with and retire from the shared registry
+ * concurrently.  With metrics=, the driver owns the recorder's
+ * sources (per-machine source names would collide across N
+ * machines): a race-free atomic op counter plus the shard count;
+ * the machines only drive the shared window clock through
+ * Machine::attachTelemetryTicker().
+ */
+int
+runParallel(unsigned nthreads, workload::WorkloadKind kind,
+            const sim::ConfigSpec &spec,
+            const sim::CheckpointMeta &meta,
+            const sim::RunParams &base_params,
+            const std::string &metrics_path,
+            std::uint64_t window_ops)
+{
+    std::optional<telemetry::TelemetryRecorder> recorder;
+    std::atomic<std::uint64_t> ops_done{0};
+    if (!metrics_path.empty()) {
+        telemetry::TelemetryConfig tcfg;
+        tcfg.path = metrics_path;
+        tcfg.windowOps = window_ops;
+        recorder.emplace(tcfg);
+        recorder->addCounter("ops", [&ops_done] {
+            return ops_done.load(std::memory_order_relaxed);
+        });
+        recorder->addGauge("threads", [nthreads] {
+            return static_cast<double>(nthreads);
+        });
+        recorder->setModeSource(
+            [label = spec.label] { return label; });
+        std::string error;
+        if (!recorder->openSink(&error)) {
+            std::fprintf(stderr,
+                         "emvsim: cannot write metrics '%s': %s\n",
+                         metrics_path.c_str(), error.c_str());
+            return kExitUsageOrAudit;
+        }
+    }
+
+    struct Shard
+    {
+        sim::RunResult run;
+        bool terminal = false;
+        bool interrupted = false;
+    };
+    std::vector<Shard> shards(nthreads);
+    std::vector<std::thread> workers;
+    workers.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) {
+        workers.emplace_back([&, t] {
+            Shard &shard = shards[t];
+            sim::RunParams params = base_params;
+            params.seed = base_params.seed + t;
+            auto wl = workload::makeWorkload(kind, params.seed,
+                                             params.scale);
+            auto cfg = sim::makeMachineConfig(spec, params);
+            if (meta.fragGuestBytes) {
+                cfg.guestFragmentation.enabled = true;
+                cfg.guestFragmentation.maxRunBytes =
+                    meta.fragGuestBytes;
+            }
+            if (meta.fragHostBytes) {
+                cfg.hostFragmentation.enabled = true;
+                cfg.hostFragmentation.maxRunBytes =
+                    meta.fragHostBytes;
+                cfg.contiguousHostReservation = false;
+            }
+            sim::Machine machine(cfg, *wl);
+
+            std::uint64_t done = 0;
+            while (done < params.warmupOps) {
+                if (stopRequested()) {
+                    shard.interrupted = true;
+                    return;
+                }
+                const std::uint64_t slice =
+                    std::min(params.warmupOps - done, kSubChunkOps);
+                if (!machine.run(slice).completed) {
+                    shard.terminal = true;
+                    return;
+                }
+                done += slice;
+            }
+            // The warmup-boundary reset runs before the ticker is
+            // attached, so the shared recorder's op space is exactly
+            // the union of the measured intervals (and no worker
+            // rebases the shared baselines mid-run).
+            machine.resetStats();
+            if (recorder)
+                machine.attachTelemetryTicker(&*recorder);
+            done = 0;
+            while (done < params.measureOps) {
+                if (stopRequested()) {
+                    shard.interrupted = true;
+                    break;
+                }
+                const std::uint64_t slice =
+                    std::min(params.measureOps - done, kSubChunkOps);
+                // Accounted at dispatch: every recorder tick inside
+                // run() then happens-after its slice's add, so the
+                // window deltas reconcile exactly with the
+                // recorder's op space (a terminal fault mid-slice
+                // overcounts by at most one slice).
+                ops_done.fetch_add(slice,
+                                   std::memory_order_relaxed);
+                if (!machine.run(slice).completed) {
+                    shard.terminal = true;
+                    break;
+                }
+                done += slice;
+            }
+            shard.run = machine.measuredResult();
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    if (recorder)
+        recorder->finish();
+
+    bool terminal = false;
+    bool interrupted = false;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t walks = 0;
+    std::printf("\n-- results (%u shards) --\n", nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) {
+        const Shard &shard = shards[t];
+        std::printf("shard %u: translation %s, total %s, "
+                    "walks %llu%s%s\n",
+                    t, sim::pct(shard.run.translationOverhead()).c_str(),
+                    sim::pct(shard.run.totalOverhead()).c_str(),
+                    static_cast<unsigned long long>(shard.run.walks),
+                    shard.terminal ? " [terminal fault]" : "",
+                    shard.interrupted ? " [interrupted]" : "");
+        terminal = terminal || shard.terminal;
+        interrupted = interrupted || shard.interrupted;
+        l1_misses += shard.run.l1Misses;
+        l2_misses += shard.run.l2Misses;
+        walks += shard.run.walks;
+    }
+    std::printf("aggregate: L1 misses %llu, L2 misses %llu, "
+                "walks %llu\n",
+                static_cast<unsigned long long>(l1_misses),
+                static_cast<unsigned long long>(l2_misses),
+                static_cast<unsigned long long>(walks));
+    if (recorder) {
+        std::printf("metrics:   %s (%llu windows)\n",
+                    metrics_path.c_str(),
+                    static_cast<unsigned long long>(
+                        recorder->windowsEmitted()));
+    }
+    if (base_params.audit) {
+        std::printf("audit checks:     %llu\n"
+                    "audit mismatches: %llu\n",
+                    static_cast<unsigned long long>(
+                        audit::checkCount()),
+                    static_cast<unsigned long long>(
+                        audit::mismatchCount()));
+    }
+
+    if (terminal)
+        return kExitTerminalFault;
+    if (base_params.audit && (audit::mismatchCount() != 0 ||
+                              audit::failureCount() != 0)) {
+        return kExitUsageOrAudit;
+    }
+    return interrupted ? kExitInterrupted : kExitOk;
 }
 
 } // namespace
@@ -281,6 +490,27 @@ main(int argc, char **argv)
         std::fprintf(stderr, "\n");
         printUsage(stderr);
         return kExitUsageOrAudit;
+    }
+
+    unsigned nthreads = 1;
+    if (const char *v = argValue(argc, argv, "threads")) {
+        const int n = std::atoi(v);
+        if (n < 1) {
+            std::fprintf(stderr, "emvsim: threads= must be a "
+                         "positive thread count\n");
+            return kExitUsageOrAudit;
+        }
+        nthreads = static_cast<unsigned>(n);
+    }
+    if (nthreads > 1) {
+        for (const char *key : kSerialOnlyKeys) {
+            if (argValue(argc, argv, key)) {
+                std::fprintf(stderr, "emvsim: '%s' cannot be "
+                             "combined with threads=%u (serial-only "
+                             "knob)\n", key, nthreads);
+                return kExitUsageOrAudit;
+            }
+        }
     }
 
     const char *resume_path = argValue(argc, argv, "resume");
@@ -435,6 +665,22 @@ main(int argc, char **argv)
     if (const char *v = argValue(argc, argv, "profile"))
         params.profile = std::atoi(v) != 0;
     params.applyObservability();
+
+    if (nthreads > 1) {
+        std::printf("emvsim: %s under %s x%u threads "
+                    "(scale=%.3g)\n",
+                    meta.workload.c_str(), meta.configLabel.c_str(),
+                    nthreads, params.scale);
+        if (!params.faultSpec.empty()) {
+            std::printf("fault plan: %s (policy=%s, per shard)\n",
+                        params.faultSpec.c_str(),
+                        params.faultPolicy.c_str());
+        }
+        std::signal(SIGTERM, onStopSignal);
+        std::signal(SIGINT, onStopSignal);
+        return runParallel(nthreads, *kind, *spec, meta, params,
+                           metrics_path, window_ops);
+    }
 
     auto wl = workload::makeWorkload(*kind, params.seed,
                                      params.scale);
@@ -593,7 +839,7 @@ main(int argc, char **argv)
                 sleep(3600);
         }
         const bool want_stop =
-            gStopRequested != 0 || (stop_after && total >= stop_after);
+            stopRequested() || (stop_after && total >= stop_after);
         if (want_stop || (ckpt_every && since_ckpt >= ckpt_every)) {
             if (!flushCheckpoint())
                 return kExitUsageOrAudit;
